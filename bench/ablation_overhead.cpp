@@ -1,0 +1,103 @@
+// Launch-overhead sweep: where the substrate's regime sits (DESIGN.md
+// substitution table).
+//
+// The evaluation's qualitative results depend on the ratio of per-launch
+// overhead to per-kernel compute. The paper's GPU pays ~microseconds per
+// launch against very fast kernels; our CPU kernels are slow relative to
+// the same launch cost, which compresses every overhead-driven speedup.
+// This bench sweeps the simulated launch latency and reports the
+// ACROBAT-vs-DyNet speedup at each point, plus ACROBAT's fiber-enabled vs
+// fiber-free DRNN latency — demonstrating that the two residual deviations
+// recorded in EXPERIMENTS.md (DRNN inline-depth regression, modest Table 5
+// ratios) are regime artifacts: both flip in the GPU-like high-overhead
+// regime.
+#include "bench_util.h"
+
+using namespace acrobat;
+using namespace acrobat::bench;
+
+namespace {
+
+double best_acrobat(const models::ModelSpec& spec, const models::Dataset& ds,
+                    const passes::PipelineConfig& cfg, std::int64_t launch_ns) {
+  harness::Prepared p = harness::prepare(spec, false, cfg);
+  harness::RunOptions opts;
+  opts.launch_overhead_ns = launch_ns;
+  harness::run_acrobat(p, ds, opts);
+  double best = 1e300;
+  for (int i = 0; i < kIters; ++i)
+    best = std::min(best, harness::run_acrobat(p, ds, opts).wall_ms);
+  return best;
+}
+
+double best_dynet(const models::ModelSpec& spec, const models::Dataset& ds,
+                  std::int64_t launch_ns) {
+  harness::Prepared p =
+      harness::prepare(spec, false, baselines::dynet_pipeline_config());
+  double best = 1e300;
+  for (const bool agenda : {true, false}) {
+    baselines::DynetOptions opts;
+    opts.agenda_scheduler = agenda;
+    opts.launch_overhead_ns = launch_ns;
+    baselines::run_dynet(p, ds, opts);
+    for (int i = 0; i < kIters; ++i)
+      best = std::min(best, baselines::run_dynet(p, ds, opts).wall_ms);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t sweeps[] = {0, 1000, 3000, 10000, 30000};
+
+  header("Launch-overhead sweep (batch 64, small)",
+         "DESIGN.md substitution table; EXPERIMENTS.md deviations 1 and (a)");
+
+  std::printf("ACROBAT speedup over DyNet (best of two schedulers):\n");
+  std::printf("%-10s", "model");
+  for (const std::int64_t ns : sweeps) std::printf(" %7lldus", ns / 1000);
+  std::printf("\n");
+  for (const char* name : {"TreeLSTM", "MV-RNN", "StackRNN"}) {
+    const models::ModelSpec& spec = models::model_by_name(name);
+    const models::Dataset ds = dataset_for(spec, false, 64);
+    std::printf("%-10s", name);
+    for (const std::int64_t ns : sweeps) {
+      const double a = best_acrobat(spec, ds, passes::PipelineConfig{}, ns);
+      const double d = best_dynet(spec, ds, ns);
+      std::printf(" %8.2fx", d / a);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nDRNN: +inline depth/fibers (L3) vs coarsening only (L2) — the\n"
+      "fiber cost is fixed while the launches it eliminates scale with the\n"
+      "launch latency, so L3 crosses over in the GPU-like regime:\n");
+  const std::int64_t drnn_sweeps[] = {0, 3000, 10000, 30000, 100000};
+  constexpr int kN = 5;
+  std::printf("%-22s", "configuration");
+  for (const std::int64_t ns : drnn_sweeps) std::printf(" %7lldus", ns / 1000);
+  std::printf("\n");
+  {
+    const models::ModelSpec& spec = models::model_by_name("DRNN");
+    const models::Dataset ds = dataset_for(spec, false, 64);
+    double l2[kN], l3[kN];
+    int i = 0;
+    for (const std::int64_t ns : drnn_sweeps) {
+      l2[i] = best_acrobat(spec, ds, passes::PipelineConfig::ablation_level(2),
+                           ns);
+      l3[i] = best_acrobat(spec, ds, passes::PipelineConfig::ablation_level(3),
+                           ns);
+      ++i;
+    }
+    std::printf("%-22s", "L2 (no fibers) ms");
+    for (i = 0; i < kN; ++i) std::printf(" %8.2f", l2[i]);
+    std::printf("\n%-22s", "L3 (fibers) ms");
+    for (i = 0; i < kN; ++i) std::printf(" %8.2f", l3[i]);
+    std::printf("\n%-22s", "L3 speedup");
+    for (i = 0; i < kN; ++i) std::printf(" %8.2fx", l2[i] / l3[i]);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Scheduler ablation (DESIGN.md §5 "Scheduler correctness invariant" /
+// paper §4.1): quantifies what inline depth computation buys over dynamic
+// depth recovery, and situates DyNet's two dynamic schedulers.
+//
+//   ACROBAT/inline    — depths from compiled-in counters ((phase, depth)
+//                       buckets; the paper's contribution)
+//   ACROBAT/dynamic   — same engine, depths recovered with the graph
+//                       traversal fully dynamic schemes pay per trigger
+//   DyNet/agenda      — greedy most-ready-signature-class batching
+//   DyNet/depth       — dynamic depth buckets over per-op nodes
+//
+// Expected shape: at ACROBAT's coarsened node counts both of its schedulers
+// are cheap, and inline depth shows up as *batching quality* — static
+// hoist depths and fiber fork-join give fewer, wider launches (TreeLSTM,
+// DRNN) — rather than scheduling time. The dynamic-recovery cost that
+// inline depth eliminates is visible at scale in the DyNet columns, whose
+// per-op graphs are 50-100x larger: their scheduling row is the Table 6
+// "Scheduling" mechanism (9.7 ms vs 0.4 ms in the paper).
+#include "bench_util.h"
+
+using namespace acrobat;
+using namespace acrobat::bench;
+
+namespace {
+
+struct Row {
+  double sched_ms = 0, wall_ms = 0;
+  long long launches = 0;
+};
+
+Row acrobat_row(const models::ModelSpec& spec, const models::Dataset& ds,
+                bool inline_depth) {
+  passes::PipelineConfig cfg;
+  cfg.inline_depth = inline_depth;
+  harness::Prepared p = harness::prepare(spec, false, cfg);
+  harness::RunOptions opts = default_opts();
+  opts.time_activities = true;
+  harness::run_acrobat(p, ds, opts);
+  Row r;
+  r.wall_ms = 1e300;
+  for (int i = 0; i < kIters; ++i) {
+    const harness::RunResult rr = harness::run_acrobat(p, ds, opts);
+    if (rr.wall_ms < r.wall_ms) {
+      r.wall_ms = rr.wall_ms;
+      r.sched_ms = rr.stats.scheduling.ms();
+      r.launches = rr.stats.kernel_launches;
+    }
+  }
+  return r;
+}
+
+Row dynet_row(const models::ModelSpec& spec, const models::Dataset& ds,
+              bool agenda) {
+  harness::Prepared p =
+      harness::prepare(spec, false, baselines::dynet_pipeline_config());
+  baselines::DynetOptions opts;
+  opts.agenda_scheduler = agenda;
+  opts.launch_overhead_ns = kLaunchNs;
+  opts.time_activities = true;
+  baselines::run_dynet(p, ds, opts);
+  Row r;
+  r.wall_ms = 1e300;
+  for (int i = 0; i < kIters; ++i) {
+    const harness::RunResult rr = baselines::run_dynet(p, ds, opts);
+    if (rr.wall_ms < r.wall_ms) {
+      r.wall_ms = rr.wall_ms;
+      r.sched_ms = rr.stats.scheduling.ms();
+      r.launches = rr.stats.kernel_launches;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  header("Scheduler ablation: inline depth vs dynamic recovery vs DyNet "
+         "(batch 64, small)",
+         "paper §4.1 / Table 6 scheduling row");
+  std::printf("%-10s | %21s | %21s | %21s | %21s\n", "",
+              "ACROBAT/inline", "ACROBAT/dynamic", "DyNet/agenda",
+              "DyNet/depth");
+  std::printf("%-10s | %7s %6s %6s | %7s %6s %6s | %7s %6s %6s | %7s %6s %6s\n",
+              "model", "sched", "wall", "launch", "sched", "wall", "launch",
+              "sched", "wall", "launch", "sched", "wall", "launch");
+  for (const auto& spec : models::all_models()) {
+    const models::Dataset ds = dataset_for(spec, false, 64);
+    const Row a = acrobat_row(spec, ds, true);
+    const Row b = acrobat_row(spec, ds, false);
+    const Row c = dynet_row(spec, ds, true);
+    const Row d = dynet_row(spec, ds, false);
+    std::printf(
+        "%-10s | %7.3f %6.2f %6lld | %7.3f %6.2f %6lld | %7.3f %6.2f %6lld | "
+        "%7.3f %6.2f %6lld\n",
+        spec.name.c_str(), a.sched_ms, a.wall_ms, a.launches, b.sched_ms,
+        b.wall_ms, b.launches, c.sched_ms, c.wall_ms, c.launches, d.sched_ms,
+        d.wall_ms, d.launches);
+  }
+  std::printf(
+      "\nexpected: inline depth wins on launch counts (hoisting + fibers:\n"
+      "TreeLSTM, DRNN); scheduling time itself is small at ACROBAT's\n"
+      "coarsened node counts, and the dynamic-analysis cost inline depth\n"
+      "avoids shows at the DyNet columns' per-op scale.\n");
+  return 0;
+}

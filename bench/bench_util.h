@@ -1,0 +1,59 @@
+// Shared benchmark harness utilities.
+//
+// All table/figure benches use the same measurement discipline: a fixed
+// simulated kernel-launch overhead (DESIGN.md substitution for GPU launch
+// latency), one warmup run, and the minimum wall time over `kIters`
+// measured runs (minimum, not mean: the quantity of interest is the
+// achievable latency, and the arena/allocator warm state matches steady-
+// state serving).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/cortex.h"
+#include "baselines/dynet.h"
+#include "baselines/eager.h"
+#include "harness/harness.h"
+
+namespace acrobat::bench {
+
+constexpr std::int64_t kLaunchNs = 3000;  // ~CUDA kernel launch latency
+constexpr int kIters = 3;
+
+inline harness::RunOptions default_opts() {
+  harness::RunOptions o;
+  o.launch_overhead_ns = kLaunchNs;
+  return o;
+}
+
+// Minimum wall-ms over kIters runs (plus one warmup).
+inline double time_min_ms(const std::function<harness::RunResult()>& run) {
+  run();  // warmup
+  double best = 1e300;
+  for (int i = 0; i < kIters; ++i) best = std::min(best, run().wall_ms);
+  return best;
+}
+
+inline const char* size_name(bool large) { return large ? "large" : "small"; }
+
+// Standard datasets: seed fixed per (model, size, batch) so every bench and
+// baseline sees identical inputs.
+inline models::Dataset dataset_for(const models::ModelSpec& spec, bool large,
+                                   int batch) {
+  return spec.build_dataset(large, batch,
+                            0xbe9c5 + batch * 31 + (large ? 7 : 0));
+}
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n  (reproduces %s; CPU substrate, launch overhead %lldns —\n"
+              "   compare shapes and ratios, not absolute times; see EXPERIMENTS.md)\n",
+              title, paper_ref, static_cast<long long>(kLaunchNs));
+  std::printf("================================================================\n");
+}
+
+}  // namespace acrobat::bench

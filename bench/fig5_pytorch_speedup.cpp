@@ -1,0 +1,41 @@
+// Figure 5: ACROBAT's speedup over the PyTorch-like eager baseline as a
+// function of batch size, for TreeLSTM / MV-RNN / BiRNN, small and large.
+//
+// Paper result: speedups grow with batch size (eager exploits neither batch
+// nor instance parallelism); speedups are larger at the small model size
+// where per-operator overhead dominates, and smallest for BiRNN (no
+// instance parallelism).
+#include "bench_util.h"
+
+using namespace acrobat;
+using namespace acrobat::bench;
+
+int main() {
+  header("Figure 5: speedup over PyTorch-like eager vs batch size",
+         "paper Fig. 5");
+  const int batches[] = {1, 2, 4, 8, 16, 32, 64, 128};
+  for (const bool large : {false, true}) {
+    std::printf("\n%s model size — speedup over eager\n", size_name(large));
+    std::printf("%-8s", "batch");
+    for (const int b : batches) std::printf(" %7d", b);
+    std::printf("\n");
+    for (const char* name : {"TreeLSTM", "MV-RNN", "BiRNN"}) {
+      const models::ModelSpec& spec = models::model_by_name(name);
+      std::printf("%-8s", name);
+      for (const int batch : batches) {
+        const models::Dataset ds = dataset_for(spec, large, batch);
+        harness::Prepared pa =
+            harness::prepare(spec, large, passes::PipelineConfig{});
+        const double ab = time_min_ms(
+            [&] { return harness::run_acrobat(pa, ds, default_opts()); });
+        harness::Prepared pe =
+            harness::prepare(spec, large, baselines::eager_pipeline_config());
+        const double eg = time_min_ms(
+            [&] { return baselines::run_eager(pe, ds, default_opts()); });
+        std::printf(" %6.1fx", eg / ab);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

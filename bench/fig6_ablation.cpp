@@ -1,0 +1,47 @@
+// Figure 6: benefit of each ACROBAT optimization — cumulative latencies at
+// batch size 64 for every model, small and large:
+//   L0 no kernel fusion            L3 +inline depth computation
+//   L1 +standard kernel fusion     L4 +program phases / ghost ops
+//   L2 +grain-size coarsening      L5 +gather operator fusion
+//
+// Paper result: fusion always helps; coarsening + inline depth matter most
+// for control-flow-heavy models (TreeLSTM, MV-RNN); inline depth also
+// unlocks DRNN's instance parallelism; phases help BiRNN (and TreeLSTM's
+// root classifiers); ghost ops help StackRNN; gather fusion helps the
+// recursive models and can slightly hurt iterative ones whose inputs are
+// usually already contiguous.
+#include "bench_util.h"
+
+using namespace acrobat;
+using namespace acrobat::bench;
+
+int main() {
+  header("Figure 6: optimization ablation, batch 64 (latency ms)",
+         "paper Fig. 6");
+  for (const bool large : {false, true}) {
+    std::printf("\n%s model size\n%-10s", size_name(large), "model");
+    for (int level = 0; level < 6; ++level) std::printf(" %9s", [&] {
+      static char buf[12];
+      std::snprintf(buf, sizeof buf, "L%d", level);
+      return buf;
+    }());
+    std::printf("\n");
+    for (const auto& spec : models::all_models()) {
+      const models::Dataset ds = dataset_for(spec, large, 64);
+      std::printf("%-10s", spec.name.c_str());
+      for (int level = 0; level < 6; ++level) {
+        harness::Prepared p = harness::prepare(
+            spec, large, passes::PipelineConfig::ablation_level(level));
+        const double ms = time_min_ms(
+            [&] { return harness::run_acrobat(p, ds, default_opts()); });
+        std::printf(" %9.2f", ms);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nlevels: ");
+  for (int level = 0; level < 6; ++level)
+    std::printf("L%d=%s%s", level, passes::PipelineConfig::ablation_name(level),
+                level == 5 ? "\n" : ", ");
+  return 0;
+}

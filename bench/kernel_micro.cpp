@@ -1,0 +1,73 @@
+// Microbenchmarks of the primitive-kernel schedule variants (the
+// auto-scheduler's search space) using google-benchmark — verifies the
+// variant ordering assumption (higher variants faster) that
+// harness::apply_default_schedules and the tuner rely on.
+#include <benchmark/benchmark.h>
+
+#include "support/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace acrobat;
+
+void BM_DenseVariant(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  TensorPool pool;
+  Rng rng(7);
+  Tensor x = pool.alloc_random(RowVec(n), rng, 0.5f);
+  Tensor w = pool.alloc_random(Shape(n, n), rng, 0.1f);
+  Tensor out = pool.alloc(RowVec(n));
+  const float* ins[2] = {x.data, w.data};
+  const Shape shapes[2] = {x.shape, w.shape};
+  for (auto _ : state) {
+    run_op(OpKind::kDense, variant, ins, shapes, out.data, out.shape, 0);
+    benchmark::DoNotOptimize(out.data[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n);
+}
+BENCHMARK(BM_DenseVariant)
+    ->ArgsProduct({{0, 1, 2}, {64, 128, 256}})
+    ->ArgNames({"variant", "n"});
+
+void BM_EltwiseVariant(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  TensorPool pool;
+  Rng rng(7);
+  Tensor x = pool.alloc_random(RowVec(n), rng, 0.5f);
+  Tensor y = pool.alloc_random(RowVec(n), rng, 0.5f);
+  Tensor out = pool.alloc(RowVec(n));
+  const float* ins[2] = {x.data, y.data};
+  const Shape shapes[2] = {x.shape, y.shape};
+  for (auto _ : state) {
+    run_op(OpKind::kAdd, variant, ins, shapes, out.data, out.shape, 0);
+    benchmark::DoNotOptimize(out.data[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EltwiseVariant)
+    ->ArgsProduct({{0, 1}, {256, 4096}})
+    ->ArgNames({"variant", "n"});
+
+void BM_MatMulBT(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  TensorPool pool;
+  Rng rng(7);
+  Tensor a = pool.alloc_random(Shape(s, 64), rng, 0.5f);
+  Tensor b = pool.alloc_random(Shape(s, 64), rng, 0.5f);
+  Tensor out = pool.alloc(Shape(s, s));
+  const float* ins[2] = {a.data, b.data};
+  const Shape shapes[2] = {a.shape, b.shape};
+  for (auto _ : state) {
+    run_op(OpKind::kMatMulBT, 0, ins, shapes, out.data, out.shape, 0);
+    benchmark::DoNotOptimize(out.data[0]);
+  }
+}
+BENCHMARK(BM_MatMulBT)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

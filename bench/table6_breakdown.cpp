@@ -1,0 +1,62 @@
+// Table 6: time spent in runtime activities for DyNet and ACROBAT at batch
+// size 64 — DFG construction, scheduling, memory copies, kernel time,
+// number of kernel launches, and simulated-device API time.
+//
+// Paper result: ACROBAT's static optimizations cut DFG-construction and
+// scheduling time by close to an order of magnitude and launch ~9x fewer
+// kernels on TreeLSTM-small; on BiRNN-large it still wins every overhead
+// column while spending *more* time in kernels (the paper notes the same).
+#include "bench_util.h"
+
+using namespace acrobat;
+using namespace acrobat::bench;
+
+namespace {
+
+void row(const char* activity, double dynet, double acrobat,
+         const char* unit = "ms") {
+  std::printf("  %-22s %10.2f %10.2f  %s\n", activity, dynet, acrobat, unit);
+}
+
+void breakdown(const char* model, bool large) {
+  const models::ModelSpec& spec = models::model_by_name(model);
+  const models::Dataset ds = dataset_for(spec, large, 64);
+
+  harness::RunOptions opts = default_opts();
+  opts.time_activities = true;
+
+  harness::Prepared pa = harness::prepare(spec, large, passes::PipelineConfig{});
+  harness::run_acrobat(pa, ds, opts);  // warmup
+  const harness::RunResult a = harness::run_acrobat(pa, ds, opts);
+
+  harness::Prepared pd =
+      harness::prepare(spec, large, baselines::dynet_pipeline_config());
+  baselines::DynetOptions dop;
+  dop.launch_overhead_ns = kLaunchNs;
+  dop.time_activities = true;
+  baselines::run_dynet(pd, ds, dop);  // warmup
+  const harness::RunResult d = baselines::run_dynet(pd, ds, dop);
+
+  std::printf("\n%s, %s, batch 64 %28s %10s\n", model, size_name(large),
+              "DyNet", "ACROBAT");
+  row("DFG construction", d.stats.dfg_construction.ms(),
+      a.stats.dfg_construction.ms());
+  row("Scheduling", d.stats.scheduling.ms(), a.stats.scheduling.ms());
+  row("Memory copy (gather)", d.stats.gather_copy.ms(),
+      a.stats.gather_copy.ms());
+  row("GPU kernel time", d.stats.kernel_exec.ms(), a.stats.kernel_exec.ms());
+  row("#Kernel calls", static_cast<double>(d.stats.kernel_launches),
+      static_cast<double>(a.stats.kernel_launches), "calls");
+  row("Device API time", d.stats.launch_overhead.ms() + d.stats.gather_copy.ms(),
+      a.stats.launch_overhead.ms() + a.stats.gather_copy.ms());
+  row("Total (wall)", d.wall_ms, a.wall_ms);
+}
+
+}  // namespace
+
+int main() {
+  header("Table 6: runtime activity breakdown, batch 64", "paper Table 6");
+  breakdown("TreeLSTM", /*large=*/false);
+  breakdown("BiRNN", /*large=*/true);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 8: Cortex vs ACROBAT — inference latencies (ms) for the three
+// recursive models Cortex supports.
+//
+// Paper result: Cortex's hand-specialized persistent kernels beat ACROBAT
+// modestly (up to 1.87x) on TreeLSTM and BiRNN, but its restrictive
+// interface forces extra embedding/matrix copies on MV-RNN and it loses
+// badly there; ACROBAT matches the specialized compiler while supporting
+// general control flow.
+#include "bench_util.h"
+
+using namespace acrobat;
+using namespace acrobat::bench;
+
+int main() {
+  header("Table 8: Cortex vs ACROBAT (latency ms)", "paper Table 8");
+  std::printf("%-10s %-6s %-5s %9s %9s\n", "model", "size", "batch", "Cortex",
+              "ACROBAT");
+  for (const char* name : {"TreeLSTM", "MV-RNN", "BiRNN"}) {
+    const models::ModelSpec& spec = models::model_by_name(name);
+    for (const bool large : {false, true}) {
+      for (const int batch : {8, 64}) {
+        const models::Dataset ds = dataset_for(spec, large, batch);
+        harness::Prepared p =
+            harness::prepare(spec, large, passes::PipelineConfig{});
+        const double ab = time_min_ms(
+            [&] { return harness::run_acrobat(p, ds, default_opts()); });
+        const double cx = time_min_ms([&] {
+          return baselines::run_cortex(name, p, ds, default_opts());
+        });
+        std::printf("%-10s %-6s %-5d %9.2f %9.2f\n", name, size_name(large),
+                    batch, cx, ab);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Budgeted schedule auto-tuner with optional profile-guided invocation
+// frequencies (Table 9). Each measurement trial costs one unit of budget;
+// kernels are visited hottest-first by `freq`, so a PGO profile steers the
+// budget to the kernels that actually dominate the run, while uniform
+// frequencies walk registration order and waste trials on cold kernels.
+#pragma once
+
+#include <vector>
+
+#include "engine/kernels.h"
+
+namespace acrobat::autosched {
+
+// Sets every kernel to `variant` (clamped to its variant count).
+void reset_schedules(KernelRegistry& registry, int variant);
+
+// Spends up to `budget` measurement trials picking the fastest variant per
+// kernel, hottest first. `freq[k]` is kernel k's invocation weight.
+void tune(KernelRegistry& registry, const std::vector<double>& freq, int budget);
+
+}  // namespace acrobat::autosched

@@ -1,0 +1,16 @@
+// Cortex baseline (Table 8): hand-specialized persistent kernels for the
+// three recursive models it supports. One launch covers a whole readiness
+// wave (better launch behavior than ACROBAT), but its restrictive interface
+// forces repeated input copies on MV-RNN's per-node matrices.
+#pragma once
+
+#include <string>
+
+#include "harness/harness.h"
+
+namespace acrobat::baselines {
+
+harness::RunResult run_cortex(const std::string& model, const harness::Prepared& p,
+                              const models::Dataset& ds, const harness::RunOptions& opts);
+
+}  // namespace acrobat::baselines

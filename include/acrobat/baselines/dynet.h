@@ -1,0 +1,35 @@
+// DyNet baseline (Tables 5-7): lazy dynamic batching over a per-op graph —
+// boxed per-node DFG construction, runtime agenda- or depth-based
+// scheduling, DyNet's default batching heuristics (first-argument-keyed
+// matmuls, no constant reuse), explicit gathers, and an optional device
+// memory cap. `improved_heuristics` / `manual_instance_parallelism` are the
+// paper's hand-improvements (Table 7's DN++).
+#pragma once
+
+#include "harness/harness.h"
+
+namespace acrobat::baselines {
+
+struct DynetOptions {
+  bool agenda_scheduler = true;          // false: depth-based scheduler
+  bool improved_heuristics = false;      // shape-keyed matmuls + constant reuse
+  bool manual_instance_parallelism = false;  // hand-batched TDCF (fibers)
+  std::int64_t launch_overhead_ns = 0;
+  std::size_t memory_cap_bytes = 0;  // 0 = uncapped
+  bool time_activities = false;
+};
+
+inline passes::PipelineConfig dynet_pipeline_config() {
+  passes::PipelineConfig c;
+  c.kernel_fusion = false;
+  c.coarsen = false;
+  c.inline_depth = false;
+  c.phases = false;
+  c.gather_fusion = false;
+  return c;
+}
+
+harness::RunResult run_dynet(const harness::Prepared& p, const models::Dataset& ds,
+                             const DynetOptions& opts);
+
+}  // namespace acrobat::baselines

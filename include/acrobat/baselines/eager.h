@@ -1,0 +1,23 @@
+// PyTorch-like eager baseline: per-op kernels, one device launch per op,
+// no laziness — exploits neither batch nor instance parallelism (Fig. 5).
+#pragma once
+
+#include "harness/harness.h"
+
+namespace acrobat::baselines {
+
+inline passes::PipelineConfig eager_pipeline_config() {
+  passes::PipelineConfig c;
+  c.kernel_fusion = false;
+  c.coarsen = false;
+  c.inline_depth = false;
+  c.phases = false;
+  c.gather_fusion = false;
+  c.lazy = false;
+  return c;
+}
+
+harness::RunResult run_eager(const harness::Prepared& p, const models::Dataset& ds,
+                             const harness::RunOptions& opts);
+
+}  // namespace acrobat::baselines

@@ -1,0 +1,156 @@
+// The lazy auto-batching engine (paper §3-§5).
+//
+// Executors record tensor ops instead of running them; `trigger_execution`
+// schedules all pending ops into batches — one simulated device launch per
+// batch — so same-signature ops from many program instances collapse into a
+// single launch. Per-launch overhead is charged as real wall time
+// (EngineConfig::launch_overhead_ns, DESIGN.md substitution table), which is
+// what makes launch counts show up in every bench's latencies.
+//
+// The same engine also hosts the baselines: eager mode (lazy=false, one
+// launch per op), and DyNet mode (per-node boxed DFG construction cost,
+// agenda/depth dynamic schedulers, first-argument-keyed matmul batching,
+// device memory cap).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/kernels.h"
+#include "engine/value.h"
+#include "support/timer.h"
+#include "tensor/tensor.h"
+
+namespace acrobat {
+
+class FiberScheduler;
+
+// Per-activity time accounting (Table 6 rows).
+struct ActivityStats {
+  TimeBucket dfg_construction;  // recording nodes into the graph
+  TimeBucket scheduling;        // grouping pending nodes into batches
+  TimeBucket gather_copy;       // staging scattered inputs (explicit gathers)
+  TimeBucket kernel_exec;       // time inside kernels
+  TimeBucket launch_overhead;   // simulated device API time
+  long long kernel_launches = 0;
+  long long gather_bytes = 0;  // bytes staged by explicit gathers
+};
+
+struct EngineStats : ActivityStats {
+  std::vector<long long> kernel_invocations;  // per kernel id (PGO profile)
+};
+
+// Thrown when a memory-capped run (DyNet Berxit, Table 5) exceeds its cap.
+struct OomError {};
+
+enum class SchedulerKind {
+  kDepth,   // depth buckets: (phase, depth, kernel) — ACROBAT and DyNet/depth
+  kAgenda,  // DyNet's greedy most-ready-signature-class scheduler
+};
+
+struct EngineConfig {
+  std::int64_t launch_overhead_ns = 0;
+  bool lazy = true;          // false: execute each op as recorded (eager baseline)
+  bool inline_depth = true;  // false: recover depths by graph traversal per trigger
+  bool phases = true;        // honor program phase tags when grouping
+  bool gather_fusion = true;  // false: stage scattered batch inputs via copies
+  bool const_reuse = true;    // dedupe zero-arity constant nodes
+  SchedulerKind scheduler = SchedulerKind::kDepth;
+  bool shape_keyed_batching = true;  // false: matmul family batches per first arg
+  bool boxed_dfg = false;            // DyNet-style per-node construction work
+  bool fuse_waves = false;           // Cortex: one persistent launch per ready wave
+  int stage_all_amp = 0;             // Cortex MV-RNN: forced input copies, amplified
+  std::size_t memory_cap_bytes = 0;  // 0 = uncapped
+  bool time_activities = false;
+};
+
+// Identifies the recording program instance (used for diagnostics and for
+// instance-at-a-time baselines; batching is signature-driven, not
+// instance-driven).
+struct InstCtx {
+  int instance = 0;
+};
+
+class Engine {
+ public:
+  Engine(const KernelRegistry& registry, EngineConfig cfg);
+
+  // Wraps external storage (weights, dataset tensors) as a materialized node.
+  TRef add_concrete(TensorView v);
+
+  // Records a lazy op; returns a future. `phase` is the program-phase tag
+  // the executor is currently in (0 = main phase).
+  TRef add_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx& ctx, int phase);
+
+  // Materializes (triggering execution if pending) and returns a view.
+  Tensor force(TRef r);
+
+  // Ensures `r` is materialized. Inside a fiber this suspends the instance
+  // and lets other instances record (runtime/fiber.h); otherwise it triggers
+  // execution directly — the instance-at-a-time fallback.
+  void sync(TRef r);
+
+  // sync + read element 0 (data-dependent control flow).
+  float scalar(TRef r);
+
+  bool materialized(TRef r) const;
+  const Shape& shape(TRef r) const;
+  const float* data(TRef r) const;  // null until materialized
+
+  // Executes every pending op in batched order.
+  void trigger_execution();
+
+  void set_fiber_scheduler(FiberScheduler* fs) { fibers_ = fs; }
+
+  const EngineStats& stats() const { return stats_; }
+  const KernelRegistry& registry() const { return registry_; }
+
+  // Execution log for reverse-replay autodiff (grad/backward.h): batches in
+  // execution order, each a kernel id plus the node ids it ran.
+  struct ExecBatch {
+    int kernel_id = -1;
+    std::vector<std::uint32_t> nodes;
+  };
+  const std::vector<ExecBatch>& exec_log() const { return exec_log_; }
+  int kernel_of(TRef r) const;  // -1 for concrete nodes
+  const std::vector<TRef>& inputs_of(TRef r) const;
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int kernel_id = -1;  // -1: concrete
+    std::vector<TRef> ins;
+    Shape shape;
+    const float* data = nullptr;
+    int depth = 0;
+    int phase = 0;
+    int instance = 0;
+  };
+
+  Node& node(TRef r) { return nodes_[r.id]; }
+  const Node& node(TRef r) const { return nodes_[r.id]; }
+  TRef record_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx& ctx, int phase);
+  void execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids, bool merge_launch);
+  void schedule_depth(std::vector<std::uint32_t>& pending);
+  void schedule_agenda(std::vector<std::uint32_t>& pending);
+  void recover_depths(const std::vector<std::uint32_t>& pending);
+  void charge_launch();
+
+  const KernelRegistry& registry_;
+  EngineConfig cfg_;
+  EngineStats stats_;
+  TensorPool arena_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<ExecBatch> exec_log_;
+  std::unordered_map<int, TRef> const_cache_;  // const_reuse: kernel id → node
+  std::vector<std::shared_ptr<std::string>> boxed_;  // boxed_dfg allocations
+  FiberScheduler* fibers_ = nullptr;
+  std::size_t live_bytes_ = 0;
+  bool in_trigger_ = false;
+};
+
+}  // namespace acrobat

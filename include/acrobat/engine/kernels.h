@@ -1,0 +1,59 @@
+// The kernel registry: the compiled module's table of primitive kernels.
+//
+// Model builders register kernels by name (deduplicated); the engine batches
+// ops by kernel id; the auto-scheduler mutates each kernel's `variant` in
+// place (autosched/tuner.h). A kernel remembers representative input shapes
+// from registration so the tuner can measure variants offline.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace acrobat {
+
+struct Kernel {
+  std::string name;
+  OpKind op = OpKind::kAdd;
+  std::int64_t attr = 0;
+  int arity = 0;
+  int variant = 0;  // chosen schedule; mutated by the tuner
+  int num_variants = 1;
+  Shape rep[4];  // representative input shapes for offline measurement
+};
+
+class KernelRegistry {
+ public:
+  // Registers (or finds) a kernel. `rep_shapes` may be null when arity == 0.
+  int add(const std::string& name, OpKind op, std::int64_t attr, int arity,
+          const Shape* rep_shapes) {
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) return it->second;
+    Kernel k;
+    k.name = name;
+    k.op = op;
+    k.attr = attr;
+    k.arity = arity;
+    k.num_variants = op_num_variants(op);
+    assert(arity <= 4);
+    for (int i = 0; i < arity && rep_shapes; ++i) k.rep[i] = rep_shapes[i];
+    const int id = static_cast<int>(kernels_.size());
+    kernels_.push_back(std::move(k));
+    by_name_.emplace(name, id);
+    return id;
+  }
+
+  std::size_t num_kernels() const { return kernels_.size(); }
+  Kernel& kernel(int id) { return kernels_[static_cast<std::size_t>(id)]; }
+  const Kernel& kernel(int id) const { return kernels_[static_cast<std::size_t>(id)]; }
+
+ private:
+  std::vector<Kernel> kernels_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace acrobat

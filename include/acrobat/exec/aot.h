@@ -1,0 +1,34 @@
+// AOT executor (paper §6, Table 4 right columns): a compiled program runs
+// as direct native dispatch over unboxed registers — per-instruction cost
+// is a switch and a vector slot, control-flow overhead stays out of the
+// latency path. Depth/phase bookkeeping is inline (compiled-in counters);
+// data-dependent branches suspend via Engine::sync when fibers are active.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/engine.h"
+#include "ir/ir.h"
+
+namespace acrobat::aot {
+
+class AotExecutor {
+ public:
+  AotExecutor(const ir::Program& program, Engine& engine, std::vector<TRef> weights)
+      : prog_(program), engine_(engine), weights_(std::move(weights)) {}
+
+  // Executes program.main over one instance's inputs.
+  Value run(std::span<const Value> args, InstCtx ctx);
+
+ private:
+  Value exec(const ir::Func& f, const Value* args, std::size_t n_args);
+
+  const ir::Program& prog_;
+  Engine& engine_;
+  std::vector<TRef> weights_;
+  InstCtx ctx_;
+  int phase_ = 0;
+};
+
+}  // namespace acrobat::aot

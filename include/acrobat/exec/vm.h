@@ -1,0 +1,36 @@
+// The boxed interpreter VM (paper §2/§6, Table 4 left columns): the same
+// Program as exec/aot.h, executed the way a naive Relay-VM-style
+// interpreter would — every register access goes through a string-keyed
+// environment, every value is freshly heap-boxed, and every instruction
+// pays dynamic checks with formatted diagnostics. Tensor work is identical
+// (same engine, same kernels); the gap Table 4 measures is pure
+// interpretation overhead, so it is largest where control flow, not tensor
+// time, dominates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/engine.h"
+#include "ir/ir.h"
+
+namespace acrobat::exec {
+
+class Vm {
+ public:
+  Vm(const ir::Program& program, Engine& engine, std::vector<TRef> weights)
+      : prog_(program), engine_(engine), weights_(std::move(weights)) {}
+
+  Value run(std::span<const Value> args, InstCtx ctx);
+
+ private:
+  Value exec(const ir::Func& f, const std::vector<Value>& args);
+
+  const ir::Program& prog_;
+  Engine& engine_;
+  std::vector<TRef> weights_;
+  InstCtx ctx_;
+  int phase_ = 0;
+};
+
+}  // namespace acrobat::exec

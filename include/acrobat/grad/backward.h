@@ -1,0 +1,44 @@
+// Reverse-plan-replay autodiff (training_batch.cpp; paper §9's training
+// claim, Qiao & Taura 2019): the backward pass walks the engine's executed
+// batch log in reverse, computing input gradients batch-by-batch — so the
+// backward pass inherits exactly the forward batching, and backward launch
+// counts collapse the same way forward ones do.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "passes/pipeline.h"
+
+namespace acrobat::grad {
+
+// Training uses the per-op pipeline: every executed kernel is a primitive
+// with a known gradient rule (coarse/fused cell kernels are inference-only).
+inline passes::PipelineConfig training_pipeline_config() {
+  passes::PipelineConfig c;
+  c.kernel_fusion = false;
+  c.coarsen = false;
+  return c;
+}
+
+struct Seed {
+  TRef ref;
+  std::vector<float> grad;  // same numel as the seeded tensor
+};
+
+struct BackwardOptions {
+  std::int64_t launch_overhead_ns = 0;
+};
+
+struct BackwardResult {
+  long long backward_launches = 0;
+  // Gradient buffers keyed by engine node id (weights included).
+  std::unordered_map<std::uint32_t, std::vector<float>> grads;
+};
+
+BackwardResult backward(Engine& engine, const KernelRegistry& registry,
+                        const std::vector<Seed>& seeds, const BackwardOptions& opts);
+
+}  // namespace acrobat::grad

@@ -1,0 +1,68 @@
+// Bench harness: compiles a model under a pipeline config (`prepare`) and
+// runs it under the ACROBAT runtime (`run_acrobat`) or the boxed VM
+// (`run_vm`). Baselines (baselines/*.h) reuse the same Prepared module with
+// different engine configurations, so every system sees identical kernels,
+// weights, and datasets — only the runtime discipline differs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.h"
+#include "ir/ir.h"
+#include "models/models.h"
+#include "passes/pipeline.h"
+
+namespace acrobat::harness {
+
+struct RunOptions {
+  std::int64_t launch_overhead_ns = 0;
+  bool time_activities = false;
+  bool collect_outputs = false;  // flatten result tensors into RunResult
+};
+
+struct RunResult {
+  double wall_ms = 0;
+  bool oom = false;
+  ActivityStats stats;
+  std::vector<long long> kernel_invocations;       // per kernel id (PGO)
+  std::vector<std::vector<float>> outputs;         // per instance, flattened
+};
+
+struct Module {
+  KernelRegistry registry;
+};
+
+struct Compiled {
+  Module module;
+  ir::Program program;
+};
+
+struct Weights {
+  std::shared_ptr<TensorPool> pool;
+  std::vector<Tensor> tensors;
+};
+
+struct Prepared {
+  Compiled compiled;
+  Weights weights;
+  passes::PipelineConfig cfg;
+  bool large = false;
+};
+
+Prepared prepare(const models::ModelSpec& spec, bool large, const passes::PipelineConfig& cfg);
+
+// Sets every kernel to its last (assumed fastest) schedule variant; called
+// by prepare, re-applied by benches after autosched::reset_schedules.
+void apply_default_schedules(KernelRegistry& registry);
+
+RunResult run_acrobat(const Prepared& p, const models::Dataset& ds, const RunOptions& opts);
+RunResult run_vm(const Prepared& p, const models::Dataset& ds, const RunOptions& opts);
+
+// Shared runner used by run_acrobat/run_vm and the baselines: executes all
+// instances against an engine built from `ec`, optionally on fibers, and
+// fills a RunResult. `use_vm` selects the boxed interpreter.
+RunResult run_with_engine(const Prepared& p, const models::Dataset& ds, const RunOptions& opts,
+                          EngineConfig ec, bool use_fibers, bool use_vm);
+
+}  // namespace acrobat::harness

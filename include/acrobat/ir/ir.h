@@ -1,0 +1,181 @@
+// A compact register IR for model programs.
+//
+// Models compile (harness::prepare) into Programs over this IR; the same
+// Program is executed by the low-overhead AOT executor (exec/aot.h) and the
+// deliberately boxed interpreter VM (exec/vm.h) — the Table 4 comparison.
+// Tensor work is always deferred through the engine; the IR's own job is
+// control flow: ADT recursion, integer loops, tuple indexing, phase tags,
+// and the `kSyncSign` instruction that forces a scalar for data-dependent
+// branches (the fiber suspension point).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace acrobat::ir {
+
+enum class Op : std::uint8_t {
+  kLoadInput,   // dst = args[attr]
+  kLoadWeight,  // dst = tensor(weights[attr])
+  kKernel,      // dst = engine.add_op(kernel attr, srcs...)
+  kTupleMake,   // dst = tuple(srcs...)
+  kTupleGet,    // dst = src0.tuple[attr]
+  kTupleLen,    // dst = int(|src0.tuple|)
+  kTupleGetDyn, // dst = src0.tuple[src1.int]
+  kAdtMake,     // dst = adt(tag=attr, fields=srcs...)
+  kAdtTag,      // dst = int(src0.adt.tag)
+  kAdtField,    // dst = src0.adt.fields[attr]
+  kConstInt,    // dst = attr
+  kAddInt,      // dst = src0 + (srcs.size()>1 ? src1 : attr)
+  kLtInt,       // dst = src0 < src1
+  kMove,        // dst = src0 (dst may be a pre-allocated loop variable)
+  kJmp,         // pc = target
+  kBrIf,        // if src0 != 0: pc = target
+  kCall,        // dst = funcs[attr](srcs...)
+  kRet,         // return src0
+  kPhase,       // current phase = attr
+  kSyncSign,    // dst = int(force(src0)[0] > attr*1e-6)   — may suspend
+};
+
+struct Instr {
+  Op op;
+  int dst = -1;
+  std::int64_t attr = 0;
+  std::vector<int> srcs;
+  int target = -1;
+};
+
+struct Func {
+  std::string name;
+  int num_args = 0;
+  int num_regs = 0;
+  bool may_sync = false;  // contains kSyncSign, directly or via calls
+  std::vector<Instr> code;
+};
+
+struct Program {
+  std::vector<std::shared_ptr<Func>> funcs;
+  std::shared_ptr<Func> main;
+};
+
+// Propagates may_sync through calls and designates `main`.
+inline void finalize(Program& p, int main_idx) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& f : p.funcs) {
+      if (f->may_sync) continue;
+      for (const Instr& ins : f->code) {
+        if (ins.op == Op::kSyncSign ||
+            (ins.op == Op::kCall && p.funcs[static_cast<std::size_t>(ins.attr)]->may_sync)) {
+          f->may_sync = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  p.main = p.funcs[static_cast<std::size_t>(main_idx)];
+}
+
+// Incremental function builder; registers the function in the program at
+// construction so recursive calls can reference their own index.
+class FuncBuilder {
+ public:
+  FuncBuilder(Program& p, std::string name, int num_args) : prog_(p) {
+    func_ = std::make_shared<Func>();
+    func_->name = std::move(name);
+    func_->num_args = num_args;
+    index_ = static_cast<int>(p.funcs.size());
+    p.funcs.push_back(func_);
+    next_reg_ = num_args;  // registers [0, num_args) hold the arguments
+  }
+
+  int index() const { return index_; }
+  int arg(int i) const { return i; }
+
+  int emit(Op op, std::vector<int> srcs, std::int64_t attr = 0) {
+    Instr ins;
+    ins.op = op;
+    ins.dst = next_reg_++;
+    ins.attr = attr;
+    ins.srcs = std::move(srcs);
+    func_->code.push_back(std::move(ins));
+    return func_->code.back().dst;
+  }
+
+  int weight(int w) { return emit(Op::kLoadWeight, {}, w); }
+  int kernel(int kernel_id, std::vector<int> srcs) {
+    return emit(Op::kKernel, std::move(srcs), kernel_id);
+  }
+  int tuple(std::vector<int> srcs) { return emit(Op::kTupleMake, std::move(srcs)); }
+  int tuple_get(int t, int i) { return emit(Op::kTupleGet, {t}, i); }
+  int tuple_len(int t) { return emit(Op::kTupleLen, {t}); }
+  int tuple_get_dyn(int t, int i) { return emit(Op::kTupleGetDyn, {t, i}); }
+  int adt(int tag, std::vector<int> fields) { return emit(Op::kAdtMake, std::move(fields), tag); }
+  int adt_tag(int a) { return emit(Op::kAdtTag, {a}); }
+  int adt_field(int a, int i) { return emit(Op::kAdtField, {a}, i); }
+  int cint(std::int64_t v) { return emit(Op::kConstInt, {}, v); }
+  int add_int(int a, int b) { return emit(Op::kAddInt, {a, b}); }
+  int add_int_imm(int a, std::int64_t imm) { return emit(Op::kAddInt, {a}, imm); }
+  int lt(int a, int b) { return emit(Op::kLtInt, {a, b}); }
+  int call(int func_idx, std::vector<int> args) {
+    return emit(Op::kCall, std::move(args), func_idx);
+  }
+  // Loop variables: registers written by kMove from back-edges. `var` makes
+  // a named slot seeded with `init`; `assign` overwrites it.
+  int var(int init) { return emit(Op::kMove, {init}); }
+  void assign(int dst, int src) {
+    Instr ins;
+    ins.op = Op::kMove;
+    ins.dst = dst;
+    ins.srcs = {src};
+    func_->code.push_back(std::move(ins));
+  }
+  int sync_sign(int r, double threshold) {
+    func_->may_sync = true;
+    return emit(Op::kSyncSign, {r}, static_cast<std::int64_t>(threshold * 1e6));
+  }
+  void set_phase(int p) { emit_void(Op::kPhase, {}, p); }
+  void ret(int r) { emit_void(Op::kRet, {r}); }
+
+  // Control flow: emit a jump with an unknown target, patch it later.
+  int here() const { return static_cast<int>(func_->code.size()); }
+  int jmp() { return emit_branch(Op::kJmp, {}); }
+  int br_if(int cond) { return emit_branch(Op::kBrIf, {cond}); }
+  void jmp_to(int target_pc) { func_->code[static_cast<std::size_t>(jmp())].target = target_pc; }
+  void br_if_to(int cond, int target_pc) {
+    func_->code[static_cast<std::size_t>(br_if(cond))].target = target_pc;
+  }
+  void patch(int instr_idx, int target_pc) {
+    func_->code[static_cast<std::size_t>(instr_idx)].target = target_pc;
+  }
+
+  void finish() { func_->num_regs = next_reg_; }
+
+ private:
+  void emit_void(Op op, std::vector<int> srcs, std::int64_t attr = 0) {
+    Instr ins;
+    ins.op = op;
+    ins.attr = attr;
+    ins.srcs = std::move(srcs);
+    func_->code.push_back(std::move(ins));
+  }
+  int emit_branch(Op op, std::vector<int> srcs) {
+    Instr ins;
+    ins.op = op;
+    ins.srcs = std::move(srcs);
+    func_->code.push_back(std::move(ins));
+    return static_cast<int>(func_->code.size()) - 1;
+  }
+
+  Program& prog_;
+  std::shared_ptr<Func> func_;
+  int index_ = -1;
+  int next_reg_ = 0;
+};
+
+}  // namespace acrobat::ir

@@ -1,0 +1,21 @@
+// Internal: per-model spec factories (one translation unit per model).
+#pragma once
+
+#include "models/models.h"
+
+namespace acrobat::models {
+
+ModelSpec make_treelstm_spec();
+ModelSpec make_mvrnn_spec();
+ModelSpec make_birnn_spec();
+ModelSpec make_drnn_spec();
+ModelSpec make_stackrnn_spec();
+ModelSpec make_nestedrnn_spec();
+ModelSpec make_berxit_spec();
+ModelSpec make_graphrnn_spec();
+
+// Dataset helpers shared by the model sources.
+Value dataset_tensor(Dataset& ds, const Tensor& t);  // registers + placeholder
+Dataset make_token_dataset(bool large, int batch, std::uint64_t seed, int min_len, int max_len);
+
+}  // namespace acrobat::models

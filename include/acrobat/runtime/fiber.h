@@ -1,0 +1,63 @@
+// Cooperative fiber scheduler (paper §4.2): each program instance runs as a
+// stackful fiber; an instance that reaches data-dependent control flow
+// suspends instead of forcing execution, other instances keep recording,
+// and only when every live instance is blocked does the scheduler wake the
+// engine (`on_all_blocked` → Engine::trigger_execution). This is what lets
+// tensor-dependent control flow (DRNN generation, Berxit early exit) still
+// batch across instances.
+//
+// Single-threaded by design (ucontext swap, no locks): determinism and zero
+// synchronization cost are the point — concurrency here is about program
+// shape, not parallel hardware.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace acrobat {
+
+using FiberTask = std::function<void()>;
+
+class FiberScheduler {
+ public:
+  FiberScheduler() = default;
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  // Runs all tasks to completion. Whenever no fiber is runnable but some
+  // are blocked, calls `on_all_blocked` (the engine trigger) and wakes
+  // every blocked fiber.
+  void run(std::vector<FiberTask> tasks, const std::function<void()>& on_all_blocked);
+
+  // Called from inside a fiber (via Engine::sync): suspends the current
+  // fiber until the next wake.
+  void block_current();
+
+  bool in_fiber() const { return current_ >= 0; }
+
+  // Number of all-blocked wakeups performed (tests and diagnostics).
+  long long idle_triggers() const { return idle_triggers_; }
+
+ private:
+  struct Fiber {
+    ucontext_t ctx;
+    std::unique_ptr<char[]> stack;
+    FiberTask task;
+    enum State { kReady, kBlocked, kDone } state = kReady;
+  };
+
+  static void trampoline();
+
+  static constexpr std::size_t kStackBytes = 256 * 1024;
+
+  ucontext_t main_ctx_;
+  std::vector<Fiber> fibers_;
+  int current_ = -1;
+  long long idle_triggers_ = 0;
+};
+
+}  // namespace acrobat

@@ -1,0 +1,39 @@
+// Deterministic xorshift RNG: every dataset and weight tensor is seeded so
+// all benches and baselines see bit-identical inputs (bench_util.h).
+#pragma once
+
+#include <cstdint>
+
+namespace acrobat {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  // Uniform in [0, n).
+  int uniform_int(int n) { return static_cast<int>(next() % static_cast<std::uint64_t>(n)); }
+
+  // Uniform in [lo, hi] inclusive.
+  int range(int lo, int hi) { return lo + uniform_int(hi - lo + 1); }
+
+  // Uniform in [-scale, scale).
+  float uniform(float scale) {
+    const std::uint64_t bits = next() >> 11;  // 53 random bits
+    const double u = static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+    return static_cast<float>((2.0 * u - 1.0) * scale);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace acrobat

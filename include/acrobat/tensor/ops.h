@@ -1,0 +1,73 @@
+// Primitive kernels and their schedule variants.
+//
+// Every tensor computation in the system bottoms out in `run_op`, a pure
+// function of (kind, variant, inputs) — so a batch of N same-kernel ops
+// executed op-at-a-time, gathered-then-stacked, or under any scheduler
+// produces the same floats. `variant` selects a schedule (loop order /
+// unrolling); variants are the auto-scheduler's search space and are
+// roughly ordered slowest-to-fastest (kernel_micro.cpp verifies).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace acrobat {
+
+enum class OpKind : std::uint8_t {
+  // Dense family (3 variants).
+  kDense,     // ins: x (k) or (m,k), W (n,k) row-major → x·Wᵀ, shape (n)/(m,n)
+  kMatMul,    // ins: a (m,k) or (k), b (k,n) → a·b
+  kMatMulBT,  // ins: a (m,k), b (n,k) → a·bᵀ
+
+  // Elementwise binary (2 variants); b may be a row vector broadcast over
+  // the rows of a (bias add).
+  kAdd,
+  kSub,
+  kMul,
+
+  // Elementwise unary (2 variants).
+  kTanh,
+  kSigmoid,
+  kRelu,
+  kScale,  // out = in * (attr * 1e-6)
+
+  // Fused pointwise kernels (standard kernel fusion, PipelineConfig
+  // kernel_fusion; 2 variants).
+  kAddBiasTanh,     // tanh(a + b + bias)        ins: a, b, bias
+  kAddBiasSigmoid,  // sigmoid(a + b + bias)     ins: a, b, bias
+  kFma2,            // f*c + i*g                 ins: f, c, i, g
+  kMulTanh,         // o * tanh(c)               ins: o, c
+
+  // Coarse cell kernels (grain-size coarsening, PipelineConfig coarsen).
+  // LSTM gate layout: [i f g o], each n wide; GRU layout: [z r ĥ].
+  kLstmNewC,  // ins: gates (…,4n), c (…,n) → σ(f+1)*c + σ(i)*tanh(g)
+  kLstmNewH,  // ins: gates (…,4n), c' (…,n) → σ(o)*tanh(c')
+  kGruPoint,  // ins: gates (…,3n), h (…,n) → (1-σ(z))*h + σ(z)*tanh(ĥ)
+
+  // Structural / reduction.
+  kConcat,   // engine-executed (variable arity); attr = axis
+  kZeros,    // no ins; → zeros RowVec(attr)
+  kSoftmax,  // row-wise softmax
+  kSumAll,   // → Shape(1), sum of all elements
+  kMaxProb,  // → Shape(1), max of softmax over all elements (early exit)
+};
+
+const char* op_name(OpKind kind);
+
+// Number of schedule variants a kind exposes (≥1).
+int op_num_variants(OpKind kind);
+
+// Fixed input arity; kConcat returns -1 (variable).
+int op_arity(OpKind kind);
+
+// Output shape from input shapes; asserts on rank/size mismatches.
+Shape infer_shape(OpKind kind, std::int64_t attr, const Shape* in_shapes, int n_ins);
+
+// Execute one op. `ins`/`in_shapes` hold `op_arity(kind)` entries (callers
+// of variable-arity kinds go through the engine instead). `out` must have
+// `infer_shape(...)` elements.
+void run_op(OpKind kind, int variant, const float* const* ins, const Shape* in_shapes,
+            float* out, const Shape& out_shape, std::int64_t attr);
+
+}  // namespace acrobat

@@ -1,0 +1,115 @@
+// Dense row-major float tensors over arena storage.
+//
+// `Tensor` is a non-owning handle (pointer + shape); storage lives in a
+// `TensorPool` arena. The arena matters beyond allocation speed: batch
+// outputs allocated back-to-back are physically contiguous, which is what
+// lets the engine's explicit-gather mode skip staging copies for iterative
+// models whose batched inputs were produced by a single earlier launch
+// (DESIGN.md §4, ablation_gather.cpp).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace acrobat {
+
+struct Shape {
+  int dim[3] = {0, 0, 0};
+  int ndim = 0;
+
+  Shape() = default;
+  explicit Shape(int a) : dim{a, 0, 0}, ndim(1) {}
+  Shape(int a, int b) : dim{a, b, 0}, ndim(2) {}
+  Shape(int a, int b, int c) : dim{a, b, c}, ndim(3) {}
+
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (int i = 0; i < ndim; ++i) n *= dim[i];
+    return ndim == 0 ? 0 : n;
+  }
+  // 2-D views: a 1-D tensor is one row.
+  int rows() const { return ndim >= 2 ? dim[0] : 1; }
+  int cols() const { return ndim >= 2 ? dim[1] : (ndim == 1 ? dim[0] : 0); }
+
+  bool operator==(const Shape& o) const {
+    if (ndim != o.ndim) return false;
+    for (int i = 0; i < ndim; ++i)
+      if (dim[i] != o.dim[i]) return false;
+    return true;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+};
+
+// A 1-D row vector shape (kernel_micro.cpp and the cell emitters).
+inline Shape RowVec(int n) { return Shape(n); }
+
+struct TensorView {
+  const float* data = nullptr;
+  Shape shape;
+  std::int64_t numel() const { return shape.numel(); }
+};
+
+struct Tensor {
+  float* data = nullptr;
+  Shape shape;
+  std::int64_t numel() const { return shape.numel(); }
+  TensorView view() const { return TensorView{data, shape}; }
+};
+
+// Bump-pointer arena. Allocations never move and are freed only when the
+// pool dies, so engine nodes can hold raw pointers for the whole run (the
+// backward pass replays against them).
+class TensorPool {
+ public:
+  explicit TensorPool(std::size_t block_floats = 1u << 20) : block_floats_(block_floats) {}
+
+  float* alloc_raw(std::int64_t n) {
+    assert(n >= 0);
+    if (n == 0) return nullptr;
+    if (blocks_.empty() || used_ + n > static_cast<std::int64_t>(cur_size_)) {
+      cur_size_ = static_cast<std::size_t>(n) > block_floats_ ? static_cast<std::size_t>(n)
+                                                              : block_floats_;
+      blocks_.emplace_back(new float[cur_size_]);
+      used_ = 0;
+    }
+    float* p = blocks_.back().get() + used_;
+    used_ += n;
+    total_floats_ += n;
+    return p;
+  }
+
+  Tensor alloc(const Shape& s) {
+    Tensor t;
+    t.shape = s;
+    t.data = alloc_raw(s.numel());
+    return t;
+  }
+
+  Tensor alloc_zero(const Shape& s) {
+    Tensor t = alloc(s);
+    std::memset(t.data, 0, sizeof(float) * static_cast<std::size_t>(t.numel()));
+    return t;
+  }
+
+  Tensor alloc_random(const Shape& s, Rng& rng, float scale) {
+    Tensor t = alloc(s);
+    for (std::int64_t i = 0; i < t.numel(); ++i) t.data[i] = rng.uniform(scale);
+    return t;
+  }
+
+  std::int64_t total_floats() const { return total_floats_; }
+
+ private:
+  std::size_t block_floats_;
+  std::vector<std::unique_ptr<float[]>> blocks_;
+  std::size_t cur_size_ = 0;
+  std::int64_t used_ = 0;
+  std::int64_t total_floats_ = 0;
+};
+
+}  // namespace acrobat

@@ -1,0 +1,121 @@
+#include "exec/aot.h"
+
+#include <cassert>
+
+namespace acrobat::aot {
+
+Value AotExecutor::run(std::span<const Value> args, InstCtx ctx) {
+  ctx_ = ctx;
+  phase_ = 0;
+  return exec(*prog_.main, args.data(), args.size());
+}
+
+Value AotExecutor::exec(const ir::Func& f, const Value* args, std::size_t n_args) {
+  assert(static_cast<int>(n_args) == f.num_args);
+  std::vector<Value> regs(static_cast<std::size_t>(f.num_regs));
+  for (std::size_t i = 0; i < n_args; ++i) regs[i] = args[i];
+
+  std::size_t pc = 0;
+  while (pc < f.code.size()) {
+    const ir::Instr& ins = f.code[pc];
+    switch (ins.op) {
+      case ir::Op::kLoadInput:
+        regs[ins.dst] = args[ins.attr];
+        break;
+      case ir::Op::kLoadWeight:
+        regs[ins.dst] = Value::tensor(weights_[static_cast<std::size_t>(ins.attr)]);
+        break;
+      case ir::Op::kKernel: {
+        TRef srcs[8];
+        const int n = static_cast<int>(ins.srcs.size());
+        assert(n <= 8);
+        for (int i = 0; i < n; ++i) {
+          const Value& v = regs[ins.srcs[i]];
+          assert(v.kind == Value::kTensor);
+          srcs[i] = v.tref;
+        }
+        regs[ins.dst] =
+            Value::tensor(engine_.add_op(static_cast<int>(ins.attr), srcs, n, ctx_, phase_));
+        break;
+      }
+      case ir::Op::kTupleMake: {
+        std::vector<Value> elems;
+        elems.reserve(ins.srcs.size());
+        for (const int s : ins.srcs) elems.push_back(regs[s]);
+        regs[ins.dst] = Value::make_tuple(std::move(elems));
+        break;
+      }
+      case ir::Op::kTupleGet:
+        regs[ins.dst] = regs[ins.srcs[0]].tuple->elems[static_cast<std::size_t>(ins.attr)];
+        break;
+      case ir::Op::kTupleLen:
+        regs[ins.dst] =
+            Value::integer(static_cast<std::int64_t>(regs[ins.srcs[0]].tuple->elems.size()));
+        break;
+      case ir::Op::kTupleGetDyn:
+        regs[ins.dst] =
+            regs[ins.srcs[0]].tuple->elems[static_cast<std::size_t>(regs[ins.srcs[1]].i)];
+        break;
+      case ir::Op::kAdtMake: {
+        std::vector<Value> fields;
+        fields.reserve(ins.srcs.size());
+        for (const int s : ins.srcs) fields.push_back(regs[s]);
+        regs[ins.dst] = Value::make_adt(static_cast<int>(ins.attr), std::move(fields));
+        break;
+      }
+      case ir::Op::kAdtTag:
+        regs[ins.dst] = Value::integer(regs[ins.srcs[0]].adt->tag);
+        break;
+      case ir::Op::kAdtField:
+        regs[ins.dst] = regs[ins.srcs[0]].adt->fields[static_cast<std::size_t>(ins.attr)];
+        break;
+      case ir::Op::kConstInt:
+        regs[ins.dst] = Value::integer(ins.attr);
+        break;
+      case ir::Op::kAddInt:
+        regs[ins.dst] = Value::integer(regs[ins.srcs[0]].i +
+                                       (ins.srcs.size() > 1 ? regs[ins.srcs[1]].i : ins.attr));
+        break;
+      case ir::Op::kLtInt:
+        regs[ins.dst] = Value::integer(regs[ins.srcs[0]].i < regs[ins.srcs[1]].i ? 1 : 0);
+        break;
+      case ir::Op::kMove:
+        regs[ins.dst] = regs[ins.srcs[0]];
+        break;
+      case ir::Op::kJmp:
+        pc = static_cast<std::size_t>(ins.target);
+        continue;
+      case ir::Op::kBrIf:
+        if (regs[ins.srcs[0]].i != 0) {
+          pc = static_cast<std::size_t>(ins.target);
+          continue;
+        }
+        break;
+      case ir::Op::kCall: {
+        std::vector<Value> call_args;
+        call_args.reserve(ins.srcs.size());
+        for (const int s : ins.srcs) call_args.push_back(regs[s]);
+        regs[ins.dst] = exec(*prog_.funcs[static_cast<std::size_t>(ins.attr)], call_args.data(),
+                             call_args.size());
+        break;
+      }
+      case ir::Op::kRet:
+        return regs[ins.srcs[0]];
+      case ir::Op::kPhase:
+        phase_ = static_cast<int>(ins.attr);
+        break;
+      case ir::Op::kSyncSign: {
+        // Inline depth computation means nothing else needs recovering at
+        // this point: force just this scalar (suspending the fiber if the
+        // runtime is in TDCF mode) and branch on it natively.
+        const float v = engine_.scalar(regs[ins.srcs[0]].tref);
+        regs[ins.dst] = Value::integer(v > static_cast<double>(ins.attr) * 1e-6 ? 1 : 0);
+        break;
+      }
+    }
+    ++pc;
+  }
+  return Value{};
+}
+
+}  // namespace acrobat::aot

@@ -1,0 +1,63 @@
+#include <cassert>
+
+#include "baselines/cortex.h"
+#include "baselines/dynet.h"
+#include "baselines/eager.h"
+
+namespace acrobat::baselines {
+
+harness::RunResult run_eager(const harness::Prepared& p, const models::Dataset& ds,
+                             const harness::RunOptions& opts) {
+  assert(!p.cfg.lazy && "prepare with eager_pipeline_config()");
+  EngineConfig ec;
+  ec.launch_overhead_ns = opts.launch_overhead_ns;
+  ec.time_activities = opts.time_activities;
+  ec.lazy = false;
+  ec.phases = false;
+  ec.gather_fusion = false;
+  ec.const_reuse = false;
+  return harness::run_with_engine(p, ds, opts, ec, /*use_fibers=*/false, /*use_vm=*/false);
+}
+
+harness::RunResult run_dynet(const harness::Prepared& p, const models::Dataset& ds,
+                             const DynetOptions& dopts) {
+  harness::RunOptions opts;
+  opts.launch_overhead_ns = dopts.launch_overhead_ns;
+  opts.time_activities = dopts.time_activities;
+
+  EngineConfig ec;
+  ec.launch_overhead_ns = dopts.launch_overhead_ns;
+  ec.time_activities = dopts.time_activities;
+  ec.lazy = true;
+  ec.inline_depth = false;  // depths recovered per trigger
+  ec.phases = false;
+  ec.gather_fusion = false;  // explicit staging gathers
+  ec.const_reuse = dopts.improved_heuristics;
+  ec.scheduler = dopts.agenda_scheduler ? SchedulerKind::kAgenda : SchedulerKind::kDepth;
+  ec.shape_keyed_batching = dopts.improved_heuristics;
+  ec.boxed_dfg = true;
+  ec.memory_cap_bytes = dopts.memory_cap_bytes;
+
+  const bool fibers = dopts.manual_instance_parallelism && p.compiled.program.main->may_sync;
+  return harness::run_with_engine(p, ds, opts, ec, fibers, /*use_vm=*/false);
+}
+
+harness::RunResult run_cortex(const std::string& model, const harness::Prepared& p,
+                              const models::Dataset& ds, const harness::RunOptions& opts) {
+  assert((model == "TreeLSTM" || model == "MV-RNN" || model == "BiRNN") &&
+         "Cortex supports only the recursive models (Table 8)");
+  EngineConfig ec;
+  ec.launch_overhead_ns = opts.launch_overhead_ns;
+  ec.time_activities = opts.time_activities;
+  ec.lazy = true;
+  ec.inline_depth = true;
+  ec.phases = true;
+  ec.gather_fusion = false;   // accelerator-style explicit staging
+  ec.fuse_waves = true;       // persistent kernel per readiness wave
+  // MV-RNN's per-node matrices do not fit Cortex's interface: every call
+  // re-copies its operands (the paper's "extra embedding/matrix copies").
+  ec.stage_all_amp = model == "MV-RNN" ? 3 : 0;
+  return harness::run_with_engine(p, ds, opts, ec, /*use_fibers=*/false, /*use_vm=*/false);
+}
+
+}  // namespace acrobat::baselines

@@ -1,0 +1,419 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <tuple>
+
+#include "runtime/fiber.h"
+
+namespace acrobat {
+namespace {
+
+// Matmul-family ops are the ones DyNet's default heuristic batches only per
+// shared parameter operand (Table 7's "first-argument" keying).
+bool matmul_family(OpKind op) {
+  return op == OpKind::kDense || op == OpKind::kMatMul || op == OpKind::kMatMulBT;
+}
+
+}  // namespace
+
+Engine::Engine(const KernelRegistry& registry, EngineConfig cfg)
+    : registry_(registry), cfg_(cfg) {
+  stats_.kernel_invocations.assign(registry.num_kernels(), 0);
+}
+
+TRef Engine::add_concrete(TensorView v) {
+  Node n;
+  n.data = v.data;
+  n.shape = v.shape;
+  nodes_.push_back(std::move(n));
+  return TRef{static_cast<std::uint32_t>(nodes_.size() - 1)};
+}
+
+TRef Engine::add_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx& ctx, int phase) {
+  TRef ref;
+  {
+    // Timer scope covers recording only — eager-mode execution below charges
+    // its own kernel/launch buckets.
+    ScopedTimer timer(stats_.dfg_construction, cfg_.time_activities);
+    ref = record_op(kernel_id, ins, n_ins, ctx, phase);
+  }
+  if (!cfg_.lazy && !materialized(ref)) {
+    // Eager baseline: one launch per op, recorded and executed in place.
+    std::vector<std::uint32_t> one{ref.id};
+    pending_.pop_back();
+    execute_batch(kernel_id, one, /*merge_launch=*/false);
+  }
+  return ref;
+}
+
+TRef Engine::record_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx& ctx,
+                       int phase) {
+  const Kernel& k = registry_.kernel(kernel_id);
+
+  if (cfg_.const_reuse && n_ins == 0) {
+    // Static hoisting of constant nodes (e.g. TreeLSTM leaf zero states):
+    // the compiler derives this for free; DyNet only gets it with the
+    // hand-improved heuristics (Table 7).
+    auto it = const_cache_.find(kernel_id);
+    if (it != const_cache_.end()) return it->second;
+  }
+
+  if (cfg_.boxed_dfg) {
+    // DyNet-style dynamic DFG construction: a boxed per-node signature
+    // object built with string formatting — the per-node cost Table 6's
+    // "DFG construction" row measures.
+    std::string sig;
+    sig.reserve(64);
+    sig += k.name;
+    for (int i = 0; i < n_ins; ++i) {
+      sig += ':';
+      sig += std::to_string(node(ins[i]).shape.numel());
+    }
+    sig += '@';
+    sig += std::to_string(ctx.instance);
+    boxed_.push_back(std::make_shared<std::string>(std::move(sig)));
+  }
+
+  Shape in_shapes[8];
+  assert(n_ins <= 8);
+  int depth = 0;
+  for (int i = 0; i < n_ins; ++i) {
+    const Node& in = node(ins[i]);
+    in_shapes[i] = in.shape;
+    depth = std::max(depth, in.depth);
+  }
+
+  Node n;
+  n.kernel_id = kernel_id;
+  n.ins.assign(ins, ins + n_ins);
+  n.shape = infer_shape(k.op, k.attr, in_shapes, n_ins);
+  n.depth = depth + 1;  // inline depth computation: maintained at record time
+  n.phase = phase;
+  n.instance = ctx.instance;
+  nodes_.push_back(std::move(n));
+  const TRef ref{static_cast<std::uint32_t>(nodes_.size() - 1)};
+  pending_.push_back(ref.id);
+  if (cfg_.const_reuse && n_ins == 0) const_cache_.emplace(kernel_id, ref);
+  return ref;
+}
+
+bool Engine::materialized(TRef r) const { return node(r).data != nullptr; }
+const Shape& Engine::shape(TRef r) const { return node(r).shape; }
+const float* Engine::data(TRef r) const { return node(r).data; }
+int Engine::kernel_of(TRef r) const { return node(r).kernel_id; }
+const std::vector<TRef>& Engine::inputs_of(TRef r) const { return node(r).ins; }
+
+Tensor Engine::force(TRef r) {
+  sync(r);
+  Tensor t;
+  t.data = const_cast<float*>(node(r).data);
+  t.shape = node(r).shape;
+  return t;
+}
+
+void Engine::sync(TRef r) {
+  if (materialized(r)) return;
+  if (fibers_ != nullptr && fibers_->in_fiber()) {
+    // Suspend this instance; the scheduler triggers the engine once every
+    // live instance is blocked, then resumes us.
+    while (!materialized(r)) fibers_->block_current();
+    return;
+  }
+  trigger_execution();
+  assert(materialized(r));
+}
+
+float Engine::scalar(TRef r) {
+  sync(r);
+  return node(r).data[0];
+}
+
+void Engine::charge_launch() {
+  ++stats_.kernel_launches;
+  if (cfg_.launch_overhead_ns > 0) {
+    stats_.launch_overhead.add(cfg_.launch_overhead_ns);
+    spin_ns(cfg_.launch_overhead_ns);
+  }
+}
+
+void Engine::recover_depths(const std::vector<std::uint32_t>& pending) {
+  // Dynamic depth recovery: the per-trigger graph traversal that inline
+  // depth computation eliminates (paper §4.1). Pending ids are recorded in
+  // topological order, so one forward pass suffices.
+  for (const std::uint32_t id : pending) {
+    Node& n = nodes_[id];
+    int depth = 0;
+    for (const TRef in : n.ins) {
+      const Node& src = node(in);
+      if (src.data == nullptr) depth = std::max(depth, src.depth);
+    }
+    n.depth = depth + 1;
+  }
+}
+
+void Engine::schedule_depth(std::vector<std::uint32_t>& pending) {
+  std::int64_t t0 = now_ns();
+  if (!cfg_.inline_depth) recover_depths(pending);
+
+  // Phases run strictly in order; within phase 0 batches are the static
+  // (depth, kernel) buckets inline depth computation makes free. Phase-
+  // tagged nodes (phase > 0) are scheduled by readiness waves keyed on
+  // kernel alone — that is what lets e.g. per-instance root classifiers
+  // sitting at different tree depths share one launch. Builders keep
+  // dependencies monotone in phase.
+  std::map<int, std::vector<std::uint32_t>> by_phase;
+  for (const std::uint32_t id : pending)
+    by_phase[cfg_.phases ? nodes_[id].phase : 0].push_back(id);
+
+  for (auto& [phase, ids] : by_phase) {
+    if (phase == 0) {
+      std::map<std::pair<int, int>, std::vector<std::uint32_t>> groups;
+      for (const std::uint32_t id : ids)
+        groups[{nodes_[id].depth, nodes_[id].kernel_id}].push_back(id);
+      if (cfg_.time_activities) stats_.scheduling.add(now_ns() - t0);
+      int last_depth = -1;
+      for (auto& [key, batch] : groups) {
+        // Cortex persistent-kernel mode: batches in one depth wave share a
+        // single launch.
+        const bool merge = cfg_.fuse_waves && key.first == last_depth;
+        last_depth = key.first;
+        execute_batch(key.second, batch, merge);
+      }
+      t0 = now_ns();
+      continue;
+    }
+    std::vector<std::uint32_t> todo = ids;
+    while (!todo.empty()) {
+      std::map<int, std::vector<std::uint32_t>> wave;  // kernel → ready nodes
+      std::vector<std::uint32_t> rest;
+      for (const std::uint32_t id : todo) {
+        bool ready = true;
+        for (const TRef in : nodes_[id].ins)
+          if (node(in).data == nullptr) {
+            ready = false;
+            break;
+          }
+        if (ready)
+          wave[nodes_[id].kernel_id].push_back(id);
+        else
+          rest.push_back(id);
+      }
+      assert(!wave.empty() && "phase-group dependency cycle");
+      if (cfg_.time_activities) stats_.scheduling.add(now_ns() - t0);
+      for (auto& [kid, batch] : wave) execute_batch(kid, batch, false);
+      t0 = now_ns();
+      todo.swap(rest);
+    }
+  }
+  if (cfg_.time_activities) stats_.scheduling.add(now_ns() - t0);
+}
+
+void Engine::schedule_agenda(std::vector<std::uint32_t>& pending) {
+  // DyNet's agenda scheduler: maintain the set of ready nodes, repeatedly
+  // launch the largest same-signature class. All bookkeeping is charged to
+  // scheduling time — this is the dynamic analysis cost the paper's static
+  // scheduling avoids.
+  std::int64_t sched_ns = 0;
+  std::int64_t t0 = now_ns();
+
+  std::map<std::uint32_t, int> remaining;  // pending id → unexecuted input count
+  std::map<std::uint32_t, std::vector<std::uint32_t>> consumers;
+  for (const std::uint32_t id : pending) remaining[id] = 0;
+  for (const std::uint32_t id : pending) {
+    for (const TRef in : nodes_[id].ins) {
+      if (node(in).data == nullptr && remaining.count(in.id)) {
+        ++remaining[id];
+        consumers[in.id].push_back(id);
+      }
+    }
+  }
+
+  // Signature: kernel id, plus the parameter operand when the heuristic is
+  // not shape-keyed (DyNet's default batches matmuls only per shared
+  // parameter — MV-RNN's per-node matrices then never batch, Table 7).
+  auto signature = [&](std::uint32_t id) -> std::uint64_t {
+    const Node& n = nodes_[id];
+    const OpKind op = registry_.kernel(n.kernel_id).op;
+    std::uint64_t sig = static_cast<std::uint64_t>(n.kernel_id) << 32;
+    if (!cfg_.shape_keyed_batching && matmul_family(op) && n.ins.size() >= 2)
+      sig |= n.ins[1].id;
+    return sig;
+  };
+
+  std::map<std::uint64_t, std::vector<std::uint32_t>> ready;
+  for (const auto& [id, cnt] : remaining)
+    if (cnt == 0) ready[signature(id)].push_back(id);
+
+  while (!ready.empty()) {
+    auto best = ready.begin();
+    for (auto it = ready.begin(); it != ready.end(); ++it)
+      if (it->second.size() > best->second.size()) best = it;
+    std::vector<std::uint32_t> ids = std::move(best->second);
+    ready.erase(best);
+
+    sched_ns += now_ns() - t0;
+    execute_batch(nodes_[ids[0]].kernel_id, ids, /*merge_launch=*/false);
+    t0 = now_ns();
+
+    for (const std::uint32_t id : ids) {
+      auto it = consumers.find(id);
+      if (it == consumers.end()) continue;
+      for (const std::uint32_t c : it->second)
+        if (--remaining[c] == 0) ready[signature(c)].push_back(c);
+    }
+  }
+  sched_ns += now_ns() - t0;
+  if (cfg_.time_activities) stats_.scheduling.add(sched_ns);
+}
+
+void Engine::trigger_execution() {
+  if (in_trigger_ || pending_.empty()) return;
+  in_trigger_ = true;
+  std::vector<std::uint32_t> pend;
+  pend.swap(pending_);
+  try {
+    if (cfg_.scheduler == SchedulerKind::kAgenda) {
+      schedule_agenda(pend);
+    } else {
+      schedule_depth(pend);
+    }
+  } catch (...) {
+    in_trigger_ = false;  // keep the engine usable after a caught OOM
+    throw;
+  }
+  in_trigger_ = false;
+}
+
+void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
+                           bool merge_launch) {
+  const Kernel& k = registry_.kernel(kernel_id);
+  const std::size_t n = ids.size();
+  stats_.kernel_invocations[static_cast<std::size_t>(kernel_id)] +=
+      static_cast<long long>(n);
+  if (!merge_launch) charge_launch();
+
+  // Allocate every output of the batch back-to-back: downstream batches
+  // over these results see contiguous inputs (the iterative-model fast path
+  // in ablation_gather.cpp).
+  std::int64_t total = 0;
+  for (const std::uint32_t id : ids) total += nodes_[id].shape.numel();
+  float* out_base = arena_.alloc_raw(total);
+  live_bytes_ += static_cast<std::size_t>(total) * sizeof(float);
+  if (cfg_.memory_cap_bytes != 0 && live_bytes_ > cfg_.memory_cap_bytes) throw OomError{};
+
+  std::int64_t off = 0;
+  std::vector<float*> outs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    outs[i] = out_base + off;
+    off += nodes_[ids[i]].shape.numel();
+  }
+
+#ifndef NDEBUG
+  // Scheduler correctness invariant (DESIGN.md §5).
+  for (const std::uint32_t id : ids)
+    for (const TRef in : nodes_[id].ins) assert(node(in).data != nullptr && "batch ordering bug");
+#endif
+
+  // Dense fast path: a batch of row-vector denses sharing one weight is a
+  // single stacked (n×k)·Wᵀ call when the rows are contiguous — or after an
+  // explicit staging gather when they are not and fusion is off.
+  bool stacked = false;
+  if (k.op == OpKind::kDense && n > 1) {
+    bool uniform = true;
+    const TRef w = nodes_[ids[0]].ins[1];
+    const int kdim = static_cast<int>(node(nodes_[ids[0]].ins[0]).shape.numel());
+    for (const std::uint32_t id : ids) {
+      const Node& nd = nodes_[id];
+      if (nd.ins[1].id != w.id || node(nd.ins[0]).shape.ndim != 1 ||
+          node(nd.ins[0]).shape.numel() != kdim) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) {
+      const float* first = node(nodes_[ids[0]].ins[0]).data;
+      bool contiguous = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (node(nodes_[ids[i]].ins[0]).data != first + static_cast<std::int64_t>(i) * kdim) {
+          contiguous = false;
+          break;
+        }
+      }
+      const float* x_stacked = nullptr;
+      if (contiguous) {
+        x_stacked = first;
+      } else if (!cfg_.gather_fusion) {
+        // Explicit gather: stage scattered rows into a contiguous buffer
+        // (DyNet-style), charging copy time and bytes.
+        ScopedTimer timer(stats_.gather_copy, cfg_.time_activities);
+        float* staged = arena_.alloc_raw(static_cast<std::int64_t>(n) * kdim);
+        for (std::size_t i = 0; i < n; ++i)
+          std::memcpy(staged + static_cast<std::int64_t>(i) * kdim,
+                      node(nodes_[ids[i]].ins[0]).data, sizeof(float) * kdim);
+        stats_.gather_bytes += static_cast<long long>(n) * kdim * sizeof(float);
+        live_bytes_ += static_cast<std::size_t>(n) * kdim * sizeof(float);
+        if (cfg_.memory_cap_bytes != 0 && live_bytes_ > cfg_.memory_cap_bytes) throw OomError{};
+        x_stacked = staged;
+      }
+      if (x_stacked != nullptr) {
+        ScopedTimer timer(stats_.kernel_exec, cfg_.time_activities);
+        const Shape xs(static_cast<int>(n), kdim);
+        const Shape ws = node(w).shape;
+        const Shape os(static_cast<int>(n), static_cast<int>(nodes_[ids[0]].shape.numel()));
+        const float* ins[2] = {x_stacked, node(w).data};
+        const Shape shapes[2] = {xs, ws};
+        run_op(k.op, k.variant, ins, shapes, out_base, os, k.attr);
+        stacked = true;
+      }
+    }
+  }
+
+  if (!stacked) {
+    ScopedTimer timer(stats_.kernel_exec, cfg_.time_activities);
+    for (std::size_t i = 0; i < n; ++i) {
+      Node& nd = nodes_[ids[i]];
+      if (k.op == OpKind::kConcat) {
+        // Engine-executed (variable arity): copy inputs end to end; axis 0
+        // row-stacking and flat vector concat have identical layout.
+        float* dst = outs[i];
+        for (const TRef in : nd.ins) {
+          const Node& src = node(in);
+          std::memcpy(dst, src.data, sizeof(float) * static_cast<std::size_t>(src.shape.numel()));
+          dst += src.shape.numel();
+        }
+        continue;
+      }
+      const float* ins[8];
+      Shape shapes[8];
+      const int arity = static_cast<int>(nd.ins.size());
+      for (int j = 0; j < arity; ++j) {
+        const Node& src = node(nd.ins[j]);
+        ins[j] = src.data;
+        shapes[j] = src.shape;
+      }
+      if (cfg_.stage_all_amp > 0 && matmul_family(k.op)) {
+        // Cortex's restrictive interface on MV-RNN: inputs must be copied
+        // into the accelerator's layout (repeatedly) before every call.
+        ScopedTimer copy_timer(stats_.gather_copy, cfg_.time_activities);
+        for (int rep = 0; rep < cfg_.stage_all_amp; ++rep) {
+          for (int j = 0; j < arity; ++j) {
+            const std::int64_t numel = shapes[j].numel();
+            float* staged = arena_.alloc_raw(numel);
+            std::memcpy(staged, ins[j], sizeof(float) * static_cast<std::size_t>(numel));
+            stats_.gather_bytes += numel * static_cast<long long>(sizeof(float));
+            if (rep == cfg_.stage_all_amp - 1) ins[j] = staged;
+          }
+        }
+      }
+      run_op(k.op, k.variant, ins, shapes, outs[i], nd.shape, k.attr);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) nodes_[ids[i]].data = outs[i];
+  exec_log_.push_back(ExecBatch{kernel_id, ids});
+}
+
+}  // namespace acrobat

@@ -1,0 +1,87 @@
+#include "runtime/fiber.h"
+
+#include <cassert>
+
+namespace acrobat {
+namespace {
+
+// ucontext trampolines cannot portably carry pointer arguments; the
+// scheduler is single-threaded, so the active instance lives here.
+FiberScheduler* g_active = nullptr;
+
+}  // namespace
+
+void FiberScheduler::trampoline() {
+  // g_active and current_ are set by run() right before swapcontext.
+  FiberScheduler* s = g_active;
+  Fiber& f = s->fibers_[static_cast<std::size_t>(s->current_)];
+  f.task();
+  f.state = Fiber::kDone;
+  // Returning falls through to uc_link (the scheduler's context).
+}
+
+void FiberScheduler::run(std::vector<FiberTask> tasks,
+                         const std::function<void()>& on_all_blocked) {
+  assert(g_active == nullptr && "nested fiber schedulers are not supported");
+  fibers_.clear();
+  fibers_.resize(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Fiber& f = fibers_[i];
+    f.task = std::move(tasks[i]);
+    f.stack.reset(new char[kStackBytes]);
+    getcontext(&f.ctx);
+    f.ctx.uc_stack.ss_sp = f.stack.get();
+    f.ctx.uc_stack.ss_size = kStackBytes;
+    f.ctx.uc_link = &main_ctx_;
+    makecontext(&f.ctx, reinterpret_cast<void (*)()>(&FiberScheduler::trampoline), 0);
+  }
+
+  g_active = this;
+  try {
+    for (;;) {
+      bool ran_any = false;
+      for (std::size_t i = 0; i < fibers_.size(); ++i) {
+        if (fibers_[i].state != Fiber::kReady) continue;
+        ran_any = true;
+        current_ = static_cast<int>(i);
+        swapcontext(&main_ctx_, &fibers_[i].ctx);
+        current_ = -1;
+      }
+      std::size_t done = 0;
+      bool any_blocked = false;
+      for (const Fiber& f : fibers_) {
+        if (f.state == Fiber::kBlocked) any_blocked = true;
+        if (f.state == Fiber::kDone) ++done;
+      }
+      if (done == fibers_.size()) break;
+      if (any_blocked) {
+        // Every live instance is suspended at a sync point: wake the engine,
+        // then resume them all (their futures are now materialized).
+        ++idle_triggers_;
+        on_all_blocked();
+        for (Fiber& f : fibers_)
+          if (f.state == Fiber::kBlocked) f.state = Fiber::kReady;
+      } else if (!ran_any) {
+        break;  // defensive: nothing runnable, nothing blocked, not all done
+      }
+    }
+  } catch (...) {
+    // e.g. OomError out of on_all_blocked: abandon the suspended fibers but
+    // leave the scheduler reusable.
+    g_active = nullptr;
+    current_ = -1;
+    fibers_.clear();
+    throw;
+  }
+  g_active = nullptr;
+  fibers_.clear();
+}
+
+void FiberScheduler::block_current() {
+  assert(current_ >= 0 && "block_current outside a fiber");
+  const int idx = current_;
+  fibers_[static_cast<std::size_t>(idx)].state = Fiber::kBlocked;
+  swapcontext(&fibers_[static_cast<std::size_t>(idx)].ctx, &main_ctx_);
+}
+
+}  // namespace acrobat

@@ -1,0 +1,69 @@
+// DRNN: a generative recursive model whose expansion decision is computed
+// from tensor values — data-dependent control flow. Each expansion asks a
+// stop network for a scalar and branches on its sign (kSyncSign), which is
+// where instances suspend on fibers; without fibers every decision forces
+// an instance-local trigger (the L2-vs-L3 crossover in ablation_overhead).
+#include "models/cells.h"
+#include "models/specs.h"
+
+namespace acrobat::models {
+namespace {
+
+Dataset dataset(bool large, int batch, std::uint64_t seed) {
+  Dataset ds;
+  ds.pool = std::make_shared<TensorPool>();
+  Rng rng(seed);
+  const int h = hidden_dim(large);
+  for (int i = 0; i < batch; ++i)
+    ds.inputs.push_back(dataset_tensor(ds, ds.pool->alloc_random(RowVec(h), rng, 1.0f)));
+  return ds;
+}
+
+int build(BuildCtx& ctx) {
+  const int h = hidden_dim(ctx.large);
+  const Shape v(h), ws(1, h);
+  const int w_stop = ctx.add_weight(ws, 0.8f / static_cast<float>(h));
+  const int k_stop = ctx.kernel("drnn.stop", OpKind::kDense, 0, {v, ws});
+  const RnnCell left = make_rnn(ctx, "drnn.left", h, h);
+  const RnnCell right = make_rnn(ctx, "drnn.right", h, h);
+  const int k_merge = ctx.kernel("drnn.merge", OpKind::kAdd, 0, {v, v});
+  const ClassifierHead cls = make_classifier(ctx, "drnn", h);
+
+  // gen(h, budget) -> summed subtree state
+  ir::FuncBuilder gen(ctx.program, "gen", 2);
+  {
+    const int s = gen.kernel(k_stop, {gen.arg(0), gen.weight(w_stop)});
+    const int expand = gen.sync_sign(s, 0.0);
+    const int zero = gen.cint(0);
+    const int has_budget = gen.lt(zero, gen.arg(1));
+    const int to_check = gen.br_if(expand);
+    gen.ret(gen.arg(0));  // stop: leaf
+    gen.patch(to_check, gen.here());
+    const int to_expand = gen.br_if(has_budget);
+    gen.ret(gen.arg(0));  // out of budget: leaf
+    gen.patch(to_expand, gen.here());
+    const int next_budget = gen.add_int_imm(gen.arg(1), -1);
+    const int hl = emit_rnn(gen, left, gen.arg(0), gen.arg(0));
+    const int hr = emit_rnn(gen, right, gen.arg(0), gen.arg(0));
+    const int rl = gen.call(gen.index(), {hl, next_budget});
+    const int rr = gen.call(gen.index(), {hr, next_budget});
+    gen.ret(gen.kernel(k_merge, {rl, rr}));
+    gen.finish();
+  }
+
+  ir::FuncBuilder main(ctx.program, "main", 1);
+  {
+    const int budget = main.cint(4);
+    const int r = main.call(gen.index(), {main.arg(0), budget});
+    main.set_phase(1);
+    main.ret(emit_classifier(main, cls, r));
+    main.finish();
+  }
+  return main.index();
+}
+
+}  // namespace
+
+ModelSpec make_drnn_spec() { return ModelSpec{"DRNN", dataset, build}; }
+
+}  // namespace acrobat::models

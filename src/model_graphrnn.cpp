@@ -1,0 +1,53 @@
+// GraphRNN: node states propagate along a chain-with-skip DAG (each node
+// reads its two predecessors), a fixed-topology stand-in for graph
+// propagation used by the training bench.
+#include "models/cells.h"
+#include "models/specs.h"
+
+namespace acrobat::models {
+namespace {
+
+Dataset dataset(bool large, int batch, std::uint64_t seed) {
+  return make_token_dataset(large, batch, seed, 10, 14);
+}
+
+int build(BuildCtx& ctx) {
+  const int h = hidden_dim(ctx.large);
+  const GruCell cell = make_gru(ctx, "graphrnn", h, h);
+  const int k_zero = make_zeros(ctx, "graphrnn.zero", h);
+  const int k_pred = ctx.kernel("graphrnn.pred_sum", OpKind::kAdd, 0, {Shape(h), Shape(h)});
+  const ClassifierHead cls = make_classifier(ctx, "graphrnn", h);
+
+  ir::FuncBuilder b(ctx.program, "main", 1);
+  const int seq = b.arg(0);
+  const int n = b.tuple_len(seq);
+  const int z = b.kernel(k_zero, {});
+  const int h1 = b.var(z);  // predecessor
+  const int h2 = b.var(z);  // pre-predecessor (skip edge)
+  const int i = b.var(b.cint(0));
+  const int head = b.here();
+  const int cond = b.lt(i, n);
+  const int body = b.br_if(cond);
+  const int exit = b.jmp();
+  b.patch(body, b.here());
+  {
+    const int x = b.tuple_get_dyn(seq, i);
+    const int preds = b.kernel(k_pred, {h1, h2});
+    const int nh = emit_gru(b, cell, x, preds);
+    b.assign(h2, h1);
+    b.assign(h1, nh);
+    b.assign(i, b.add_int_imm(i, 1));
+    b.jmp_to(head);
+  }
+  b.patch(exit, b.here());
+  b.set_phase(1);
+  b.ret(emit_classifier(b, cls, h1));
+  b.finish();
+  return b.index();
+}
+
+}  // namespace
+
+ModelSpec make_graphrnn_spec() { return ModelSpec{"GraphRNN", dataset, build}; }
+
+}  // namespace acrobat::models

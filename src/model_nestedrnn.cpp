@@ -1,0 +1,69 @@
+// NestedRNN: outer GRU over tokens; each outer step runs a 15-iteration
+// inner RNN. The inner kernels execute ~15x more often than the outer ones,
+// which is the invocation-frequency skew the PGO auto-scheduler exploits
+// (Table 9). Outer-cell kernels are deliberately registered first so the
+// no-PGO tuner (id order) spends its first trials on the cold kernels.
+#include "models/cells.h"
+#include "models/specs.h"
+
+namespace acrobat::models {
+namespace {
+
+constexpr int kInnerSteps = 15;
+
+Dataset dataset(bool large, int batch, std::uint64_t seed) {
+  return make_token_dataset(large, batch, seed, 5, 8);
+}
+
+int build(BuildCtx& ctx) {
+  const int h = hidden_dim(ctx.large);
+  const int hi_dim = 3 * h;  // wide inner state: schedule quality matters here
+  const GruCell outer = make_gru(ctx, "nested.outer", hi_dim, h);
+  const int k_zero = make_zeros(ctx, "nested.zero", h);
+  const int k_zero_in = make_zeros(ctx, "nested.zero_in", hi_dim);
+  const RnnCell inner = make_rnn(ctx, "nested.inner", h, hi_dim);
+  const ClassifierHead cls = make_classifier(ctx, "nested", h);
+
+  ir::FuncBuilder b(ctx.program, "main", 1);
+  const int seq = b.arg(0);
+  const int t_len = b.tuple_len(seq);
+  const int ho = b.var(b.kernel(k_zero, {}));
+  const int t = b.var(b.cint(0));
+  const int steps = b.cint(kInnerSteps);
+
+  const int outer_head = b.here();
+  const int outer_cond = b.lt(t, t_len);
+  const int outer_body = b.br_if(outer_cond);
+  const int outer_exit = b.jmp();
+  b.patch(outer_body, b.here());
+  {
+    const int x = b.tuple_get_dyn(seq, t);
+    const int hi = b.var(b.kernel(k_zero_in, {}));
+    const int j = b.var(b.cint(0));
+    const int inner_head = b.here();
+    const int inner_cond = b.lt(j, steps);
+    const int inner_body = b.br_if(inner_cond);
+    const int inner_exit = b.jmp();
+    b.patch(inner_body, b.here());
+    {
+      b.assign(hi, emit_rnn(b, inner, x, hi));
+      b.assign(j, b.add_int_imm(j, 1));
+      b.jmp_to(inner_head);
+    }
+    b.patch(inner_exit, b.here());
+    b.assign(ho, emit_gru(b, outer, hi, ho));
+    b.assign(t, b.add_int_imm(t, 1));
+    b.jmp_to(outer_head);
+  }
+  b.patch(outer_exit, b.here());
+  b.set_phase(1);
+  b.ret(emit_classifier(b, cls, ho));
+  b.finish();
+  return b.index();
+}
+
+}  // namespace
+
+ModelSpec make_nestedrnn_spec() { return ModelSpec{"NestedRNN", dataset, build}; }
+
+}  // namespace acrobat::models

@@ -1,0 +1,87 @@
+// StackRNN: an RNN driven by a push/pop action program, with the stack kept
+// as an ADT cons list in the IR — structured (non-tensor) dynamic control
+// flow that the AOT path executes natively and the boxed VM pays for.
+#include "models/cells.h"
+#include "models/specs.h"
+
+namespace acrobat::models {
+namespace {
+
+// Actions: Push(tag 0){x, rest}, Pop(tag 1){rest}, End(tag 2){}.
+Dataset dataset(bool large, int batch, std::uint64_t seed) {
+  Dataset ds;
+  ds.pool = std::make_shared<TensorPool>();
+  Rng rng(seed);
+  const int h = hidden_dim(large);
+  for (int i = 0; i < batch; ++i) {
+    const int len = rng.range(12, 18);
+    int depth = 0;
+    std::vector<int> kinds;
+    for (int t = 0; t < len; ++t) {
+      const bool push = depth == 0 || rng.uniform_int(5) < 3;
+      kinds.push_back(push ? 0 : 1);
+      depth += push ? 1 : -1;
+    }
+    Value prog = Value::make_adt(2, {});
+    for (int t = len - 1; t >= 0; --t) {
+      if (kinds[static_cast<std::size_t>(t)] == 0) {
+        Value x = dataset_tensor(ds, ds.pool->alloc_random(RowVec(h), rng, 1.0f));
+        prog = Value::make_adt(0, {std::move(x), std::move(prog)});
+      } else {
+        prog = Value::make_adt(1, {std::move(prog)});
+      }
+    }
+    ds.inputs.push_back(std::move(prog));
+  }
+  return ds;
+}
+
+int build(BuildCtx& ctx) {
+  const int h = hidden_dim(ctx.large);
+  const RnnCell push_cell = make_rnn(ctx, "stackrnn.push", h, h);
+  const RnnCell pop_cell = make_rnn(ctx, "stackrnn.pop", h, h);
+  const int k_zero = make_zeros(ctx, "stackrnn.zero", h);
+  const ClassifierHead cls = make_classifier(ctx, "stackrnn", h);
+
+  // proc(actions, stack, h) -> h
+  ir::FuncBuilder proc(ctx.program, "proc", 3);
+  {
+    const int tag = proc.adt_tag(proc.arg(0));
+    const int one = proc.cint(1);
+    const int is_end = proc.lt(one, tag);  // tag == 2
+    const int to_rest = proc.br_if(is_end);
+    const int to_pop = proc.br_if(tag);  // tag == 1
+    // Push(x, rest): h' = cell(x, h), stack' = Cons(h', stack)
+    const int x = proc.adt_field(proc.arg(0), 0);
+    const int nh = emit_rnn(proc, push_cell, x, proc.arg(2));
+    const int pushed = proc.adt(1, {nh, proc.arg(1)});
+    proc.ret(proc.call(proc.index(), {proc.adt_field(proc.arg(0), 1), pushed, nh}));
+    // Pop(rest): consume the stack top.
+    proc.patch(to_pop, proc.here());
+    const int top = proc.adt_field(proc.arg(1), 0);
+    const int rest_stack = proc.adt_field(proc.arg(1), 1);
+    const int ph = emit_rnn(proc, pop_cell, top, proc.arg(2));
+    proc.ret(proc.call(proc.index(), {proc.adt_field(proc.arg(0), 0), rest_stack, ph}));
+    // End
+    proc.patch(to_rest, proc.here());
+    proc.ret(proc.arg(2));
+    proc.finish();
+  }
+
+  ir::FuncBuilder main(ctx.program, "main", 1);
+  {
+    const int z = main.kernel(k_zero, {});
+    const int nil = main.adt(0, {});
+    const int r = main.call(proc.index(), {main.arg(0), nil, z});
+    main.set_phase(1);
+    main.ret(emit_classifier(main, cls, r));
+    main.finish();
+  }
+  return main.index();
+}
+
+}  // namespace
+
+ModelSpec make_stackrnn_spec() { return ModelSpec{"StackRNN", dataset, build}; }
+
+}  // namespace acrobat::models

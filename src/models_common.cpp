@@ -1,0 +1,69 @@
+#include <cstdio>
+#include <cstdlib>
+
+#include "models/specs.h"
+
+namespace acrobat::models {
+
+int hidden_dim(bool large) { return large ? 40 : 16; }
+
+Value remap_trefs(const Value& v, const std::vector<TRef>& refs) {
+  switch (v.kind) {
+    case Value::kTensor:
+      return Value::tensor(refs[v.tref.id]);
+    case Value::kAdt: {
+      std::vector<Value> fields;
+      fields.reserve(v.adt->fields.size());
+      for (const Value& f : v.adt->fields) fields.push_back(remap_trefs(f, refs));
+      return Value::make_adt(v.adt->tag, std::move(fields));
+    }
+    case Value::kTuple: {
+      std::vector<Value> elems;
+      elems.reserve(v.tuple->elems.size());
+      for (const Value& e : v.tuple->elems) elems.push_back(remap_trefs(e, refs));
+      return Value::make_tuple(std::move(elems));
+    }
+    default:
+      return v;
+  }
+}
+
+Value dataset_tensor(Dataset& ds, const Tensor& t) {
+  ds.tensors.push_back(t);
+  return Value::tensor(TRef{static_cast<std::uint32_t>(ds.tensors.size() - 1)});
+}
+
+Dataset make_token_dataset(bool large, int batch, std::uint64_t seed, int min_len, int max_len) {
+  Dataset ds;
+  ds.pool = std::make_shared<TensorPool>();
+  Rng rng(seed);
+  const int h = hidden_dim(large);
+  for (int i = 0; i < batch; ++i) {
+    const int len = rng.range(min_len, max_len);
+    std::vector<Value> toks;
+    toks.reserve(static_cast<std::size_t>(len));
+    for (int t = 0; t < len; ++t)
+      toks.push_back(dataset_tensor(ds, ds.pool->alloc_random(RowVec(h), rng, 1.0f)));
+    ds.inputs.push_back(Value::make_tuple(std::move(toks)));
+  }
+  return ds;
+}
+
+const std::vector<ModelSpec>& all_models() {
+  static const std::vector<ModelSpec> specs = {
+      make_treelstm_spec(), make_mvrnn_spec(),     make_birnn_spec(),  make_drnn_spec(),
+      make_stackrnn_spec(), make_nestedrnn_spec(), make_berxit_spec(),
+  };
+  return specs;
+}
+
+const ModelSpec& model_by_name(const std::string& name) {
+  for (const ModelSpec& s : all_models())
+    if (s.name == name) return s;
+  static const ModelSpec graphrnn = make_graphrnn_spec();
+  if (name == graphrnn.name) return graphrnn;
+  std::fprintf(stderr, "unknown model: %s\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace acrobat::models

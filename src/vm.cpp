@@ -1,0 +1,176 @@
+#include "exec/vm.h"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace acrobat::exec {
+namespace {
+
+// String register names and shared_ptr boxing are the point, not an
+// accident: this models an interpreter whose environment is a dynamic map
+// of boxed objects (the "naive boxed/string-environment interpreter" the
+// Table 4 bench header describes).
+std::string reg_name(int r) {
+  std::string s = "%r";
+  s += std::to_string(r);
+  return s;
+}
+
+using Env = std::unordered_map<std::string, std::shared_ptr<Value>>;
+
+const Value& read(const Env& env, int r) {
+  auto it = env.find(reg_name(r));
+  if (it == env.end()) {
+    std::ostringstream os;
+    os << "vm: undefined register " << reg_name(r);
+    throw std::runtime_error(os.str());
+  }
+  return *it->second;
+}
+
+void write(Env& env, int r, Value v) {
+  env[reg_name(r)] = std::make_shared<Value>(std::move(v));
+}
+
+void check_kind(const Value& v, Value::Kind want, const char* what) {
+  if (v.kind != want) {
+    std::ostringstream os;
+    os << "vm: expected " << what << ", got kind " << static_cast<int>(v.kind);
+    throw std::runtime_error(os.str());
+  }
+}
+
+}  // namespace
+
+Value Vm::run(std::span<const Value> args, InstCtx ctx) {
+  ctx_ = ctx;
+  phase_ = 0;
+  return exec(*prog_.main, std::vector<Value>(args.begin(), args.end()));
+}
+
+Value Vm::exec(const ir::Func& f, const std::vector<Value>& args) {
+  Env env;
+  env.reserve(static_cast<std::size_t>(f.num_regs));
+  for (std::size_t i = 0; i < args.size(); ++i) write(env, static_cast<int>(i), args[i]);
+
+  std::size_t pc = 0;
+  while (pc < f.code.size()) {
+    const ir::Instr& ins = f.code[pc];
+    switch (ins.op) {
+      case ir::Op::kLoadInput:
+        write(env, ins.dst, args[static_cast<std::size_t>(ins.attr)]);
+        break;
+      case ir::Op::kLoadWeight:
+        write(env, ins.dst, Value::tensor(weights_[static_cast<std::size_t>(ins.attr)]));
+        break;
+      case ir::Op::kKernel: {
+        std::vector<TRef> srcs;
+        srcs.reserve(ins.srcs.size());
+        for (const int s : ins.srcs) {
+          const Value& v = read(env, s);
+          check_kind(v, Value::kTensor, "tensor operand");
+          srcs.push_back(v.tref);
+        }
+        write(env, ins.dst,
+              Value::tensor(engine_.add_op(static_cast<int>(ins.attr), srcs.data(),
+                                           static_cast<int>(srcs.size()), ctx_, phase_)));
+        break;
+      }
+      case ir::Op::kTupleMake: {
+        std::vector<Value> elems;
+        for (const int s : ins.srcs) elems.push_back(read(env, s));
+        write(env, ins.dst, Value::make_tuple(std::move(elems)));
+        break;
+      }
+      case ir::Op::kTupleGet: {
+        const Value& t = read(env, ins.srcs[0]);
+        check_kind(t, Value::kTuple, "tuple");
+        write(env, ins.dst, t.tuple->elems.at(static_cast<std::size_t>(ins.attr)));
+        break;
+      }
+      case ir::Op::kTupleLen: {
+        const Value& t = read(env, ins.srcs[0]);
+        check_kind(t, Value::kTuple, "tuple");
+        write(env, ins.dst, Value::integer(static_cast<std::int64_t>(t.tuple->elems.size())));
+        break;
+      }
+      case ir::Op::kTupleGetDyn: {
+        const Value& t = read(env, ins.srcs[0]);
+        const Value& i = read(env, ins.srcs[1]);
+        check_kind(t, Value::kTuple, "tuple");
+        check_kind(i, Value::kInt, "int index");
+        write(env, ins.dst, t.tuple->elems.at(static_cast<std::size_t>(i.i)));
+        break;
+      }
+      case ir::Op::kAdtMake: {
+        std::vector<Value> fields;
+        for (const int s : ins.srcs) fields.push_back(read(env, s));
+        write(env, ins.dst, Value::make_adt(static_cast<int>(ins.attr), std::move(fields)));
+        break;
+      }
+      case ir::Op::kAdtTag: {
+        const Value& a = read(env, ins.srcs[0]);
+        check_kind(a, Value::kAdt, "adt");
+        write(env, ins.dst, Value::integer(a.adt->tag));
+        break;
+      }
+      case ir::Op::kAdtField: {
+        const Value& a = read(env, ins.srcs[0]);
+        check_kind(a, Value::kAdt, "adt");
+        write(env, ins.dst, a.adt->fields.at(static_cast<std::size_t>(ins.attr)));
+        break;
+      }
+      case ir::Op::kConstInt:
+        write(env, ins.dst, Value::integer(ins.attr));
+        break;
+      case ir::Op::kAddInt: {
+        const std::int64_t b = ins.srcs.size() > 1 ? read(env, ins.srcs[1]).i : ins.attr;
+        write(env, ins.dst, Value::integer(read(env, ins.srcs[0]).i + b));
+        break;
+      }
+      case ir::Op::kLtInt:
+        write(env, ins.dst,
+              Value::integer(read(env, ins.srcs[0]).i < read(env, ins.srcs[1]).i ? 1 : 0));
+        break;
+      case ir::Op::kMove:
+        write(env, ins.dst, read(env, ins.srcs[0]));
+        break;
+      case ir::Op::kJmp:
+        pc = static_cast<std::size_t>(ins.target);
+        continue;
+      case ir::Op::kBrIf:
+        if (read(env, ins.srcs[0]).i != 0) {
+          pc = static_cast<std::size_t>(ins.target);
+          continue;
+        }
+        break;
+      case ir::Op::kCall: {
+        std::vector<Value> call_args;
+        for (const int s : ins.srcs) call_args.push_back(read(env, s));
+        write(env, ins.dst,
+              exec(*prog_.funcs[static_cast<std::size_t>(ins.attr)], call_args));
+        break;
+      }
+      case ir::Op::kRet:
+        return read(env, ins.srcs[0]);
+      case ir::Op::kPhase:
+        phase_ = static_cast<int>(ins.attr);
+        break;
+      case ir::Op::kSyncSign: {
+        const Value& v = read(env, ins.srcs[0]);
+        check_kind(v, Value::kTensor, "tensor");
+        const float x = engine_.scalar(v.tref);
+        write(env, ins.dst,
+              Value::integer(x > static_cast<double>(ins.attr) * 1e-6 ? 1 : 0));
+        break;
+      }
+    }
+    ++pc;
+  }
+  return Value{};
+}
+
+}  // namespace acrobat::exec

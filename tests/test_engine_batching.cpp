@@ -1,0 +1,145 @@
+// The engine's batching invariant: same-signature ops recorded by N
+// instances collapse into one kernel launch (and eager mode into N), with
+// numerics identical either way.
+#include "engine/engine.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+using namespace acrobat;
+
+namespace {
+
+struct Fixture {
+  KernelRegistry reg;
+  TensorPool pool;
+  Rng rng{7};
+  int k_dense, k_tanh, k_zero;
+
+  Fixture() {
+    const Shape x(8), w(8, 8);
+    const Shape reps[2] = {x, w};
+    k_dense = reg.add("t.dense", OpKind::kDense, 0, 2, reps);
+    k_tanh = reg.add("t.tanh", OpKind::kTanh, 0, 1, reps);
+    k_zero = reg.add("t.zero", OpKind::kZeros, 8, 0, nullptr);
+  }
+};
+
+void test_same_signature_collapses() {
+  Fixture f;
+  EngineConfig cfg;
+  Engine eng(f.reg, cfg);
+  const Tensor w = f.pool.alloc_random(Shape(8, 8), f.rng, 0.5f);
+  const TRef wref = eng.add_concrete(w.view());
+  constexpr int kInstances = 16;
+  std::vector<TRef> outs;
+  for (int i = 0; i < kInstances; ++i) {
+    InstCtx ctx{i};
+    const Tensor x = f.pool.alloc_random(RowVec(8), f.rng, 1.0f);
+    const TRef xr = eng.add_concrete(x.view());
+    const TRef ins[2] = {xr, wref};
+    const TRef d = eng.add_op(f.k_dense, ins, 2, ctx, 0);
+    const TRef t = eng.add_op(f.k_tanh, &d, 1, ctx, 0);
+    outs.push_back(t);
+  }
+  eng.trigger_execution();
+  // 16 denses at depth 1 → one launch; 16 tanhs at depth 2 → one launch.
+  CHECK_EQ(eng.stats().kernel_launches, 2);
+  CHECK_EQ(eng.stats().kernel_invocations[f.k_dense], kInstances);
+  for (const TRef r : outs) CHECK(eng.data(r) != nullptr);
+}
+
+void test_eager_launches_per_op() {
+  Fixture f;
+  EngineConfig cfg;
+  cfg.lazy = false;
+  Engine eng(f.reg, cfg);
+  const Tensor w = f.pool.alloc_random(Shape(8, 8), f.rng, 0.5f);
+  const TRef wref = eng.add_concrete(w.view());
+  for (int i = 0; i < 5; ++i) {
+    InstCtx ctx{i};
+    const Tensor x = f.pool.alloc_random(RowVec(8), f.rng, 1.0f);
+    const TRef xr = eng.add_concrete(x.view());
+    const TRef ins[2] = {xr, wref};
+    eng.add_op(f.k_dense, ins, 2, ctx, 0);
+  }
+  CHECK_EQ(eng.stats().kernel_launches, 5);
+}
+
+void test_batched_matches_unbatched() {
+  Fixture f;
+  std::vector<Tensor> xs;
+  for (int i = 0; i < 6; ++i) xs.push_back(f.pool.alloc_random(RowVec(8), f.rng, 1.0f));
+  const Tensor w = f.pool.alloc_random(Shape(8, 8), f.rng, 0.5f);
+
+  auto run = [&](bool lazy) {
+    EngineConfig cfg;
+    cfg.lazy = lazy;
+    Engine eng(f.reg, cfg);
+    const TRef wref = eng.add_concrete(w.view());
+    std::vector<TRef> outs;
+    for (int i = 0; i < 6; ++i) {
+      InstCtx ctx{i};
+      const TRef xr = eng.add_concrete(xs[static_cast<std::size_t>(i)].view());
+      const TRef ins[2] = {xr, wref};
+      const TRef d = eng.add_op(f.k_dense, ins, 2, ctx, 0);
+      outs.push_back(eng.add_op(f.k_tanh, &d, 1, ctx, 0));
+    }
+    eng.trigger_execution();
+    std::vector<float> flat;
+    for (const TRef r : outs) {
+      const Tensor t = eng.force(r);
+      flat.insert(flat.end(), t.data, t.data + t.numel());
+    }
+    return flat;
+  };
+
+  const std::vector<float> batched = run(true);
+  const std::vector<float> eager = run(false);
+  CHECK_EQ(batched.size(), eager.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) CHECK_NEAR(batched[i], eager[i], 1e-6);
+}
+
+void test_const_reuse() {
+  Fixture f;
+  EngineConfig cfg;
+  Engine eng(f.reg, cfg);
+  InstCtx ctx{0};
+  const TRef a = eng.add_op(f.k_zero, nullptr, 0, ctx, 0);
+  const TRef b = eng.add_op(f.k_zero, nullptr, 0, ctx, 0);
+  CHECK_EQ(a.id, b.id);  // hoisted constant
+
+  EngineConfig cfg2;
+  cfg2.const_reuse = false;
+  Engine eng2(f.reg, cfg2);
+  const TRef c = eng2.add_op(f.k_zero, nullptr, 0, ctx, 0);
+  const TRef d = eng2.add_op(f.k_zero, nullptr, 0, ctx, 0);
+  CHECK(c.id != d.id);  // DyNet-style duplicate constants
+}
+
+void test_memory_cap_oom() {
+  Fixture f;
+  EngineConfig cfg;
+  cfg.memory_cap_bytes = 256;  // 8 floats = 32 bytes per node
+  cfg.const_reuse = false;     // keep the duplicate nodes alive
+  Engine eng(f.reg, cfg);
+  InstCtx ctx{0};
+  bool oom = false;
+  try {
+    for (int i = 0; i < 64; ++i) eng.add_op(f.k_zero, nullptr, 0, ctx, 0);
+    eng.trigger_execution();
+  } catch (const OomError&) {
+    oom = true;
+  }
+  CHECK(oom);
+}
+
+}  // namespace
+
+int main() {
+  test_same_signature_collapses();
+  test_eager_launches_per_op();
+  test_batched_matches_unbatched();
+  test_const_reuse();
+  test_memory_cap_oom();
+  return acrobat::test::finish("test_engine_batching");
+}

@@ -1,0 +1,102 @@
+// Fiber scheduler semantics: cooperative interleaving, all-blocked wakeups,
+// and engine integration (blocked instances batch across a sync point).
+#include "engine/engine.h"
+#include "runtime/fiber.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+#include <string>
+#include <vector>
+
+using namespace acrobat;
+
+namespace {
+
+void test_interleaving_order() {
+  FiberScheduler fs;
+  std::string trace;
+  std::vector<FiberTask> tasks;
+  for (int i = 0; i < 3; ++i)
+    tasks.push_back([&, i] {
+      trace += static_cast<char>('a' + i);
+      fs.block_current();
+      trace += static_cast<char>('A' + i);
+    });
+  int wakes = 0;
+  fs.run(std::move(tasks), [&] { ++wakes; });
+  CHECK(trace == "abcABC");
+  CHECK_EQ(wakes, 1);
+  CHECK_EQ(fs.idle_triggers(), 1);
+}
+
+void test_engine_sync_batches_across_instances() {
+  KernelRegistry reg;
+  const Shape x(8), w(8, 8);
+  const Shape reps[2] = {x, w};
+  const int k_dense = reg.add("t.dense", OpKind::kDense, 0, 2, reps);
+
+  TensorPool pool;
+  Rng rng(3);
+  const Tensor wt = pool.alloc_random(Shape(8, 8), rng, 0.5f);
+  std::vector<Tensor> xs;
+  for (int i = 0; i < 8; ++i) xs.push_back(pool.alloc_random(RowVec(8), rng, 1.0f));
+
+  EngineConfig cfg;
+  Engine eng(reg, cfg);
+  const TRef wref = eng.add_concrete(wt.view());
+
+  FiberScheduler fs;
+  eng.set_fiber_scheduler(&fs);
+  std::vector<FiberTask> tasks;
+  for (int i = 0; i < 8; ++i)
+    tasks.push_back([&, i] {
+      InstCtx ctx{i};
+      const TRef xr = eng.add_concrete(xs[static_cast<std::size_t>(i)].view());
+      const TRef ins[2] = {xr, wref};
+      const TRef d = eng.add_op(k_dense, ins, 2, ctx, 0);
+      // Data-dependent decision: suspends this instance.
+      const float v = eng.scalar(d);
+      const TRef ins2[2] = {d, wref};
+      if (v < 1e30f) eng.add_op(k_dense, ins2, 2, ctx, 0);
+    });
+  fs.run(std::move(tasks), [&] { eng.trigger_execution(); });
+  eng.set_fiber_scheduler(nullptr);
+  eng.trigger_execution();
+
+  // All 8 first-stage denses batch into one launch despite every instance
+  // syncing on its own result, and the post-sync denses into another.
+  CHECK_EQ(eng.stats().kernel_launches, 2);
+  CHECK_EQ(fs.idle_triggers(), 1);
+}
+
+void test_instance_at_a_time_fallback() {
+  KernelRegistry reg;
+  const Shape x(8), w(8, 8);
+  const Shape reps[2] = {x, w};
+  const int k_dense = reg.add("t.dense", OpKind::kDense, 0, 2, reps);
+  TensorPool pool;
+  Rng rng(3);
+  const Tensor wt = pool.alloc_random(Shape(8, 8), rng, 0.5f);
+
+  EngineConfig cfg;
+  Engine eng(reg, cfg);
+  const TRef wref = eng.add_concrete(wt.view());
+  for (int i = 0; i < 8; ++i) {
+    InstCtx ctx{i};
+    const Tensor xt = pool.alloc_random(RowVec(8), rng, 1.0f);
+    const TRef xr = eng.add_concrete(xt.view());
+    const TRef ins[2] = {xr, wref};
+    const TRef d = eng.add_op(k_dense, ins, 2, ctx, 0);
+    (void)eng.scalar(d);  // no fibers: forces a trigger per instance
+  }
+  CHECK_EQ(eng.stats().kernel_launches, 8);
+}
+
+}  // namespace
+
+int main() {
+  test_interleaving_order();
+  test_engine_sync_batches_across_instances();
+  test_instance_at_a_time_fallback();
+  return acrobat::test::finish("test_fiber");
+}

@@ -1,0 +1,138 @@
+// Backward-pass correctness: reverse-plan replay gradients vs finite
+// differences on a small dense→tanh→sum network, plus the batching
+// inheritance property (batched backward ⇒ few launches).
+#include "grad/backward.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+using namespace acrobat;
+
+namespace {
+
+struct Net {
+  KernelRegistry reg;
+  int k_dense, k_tanh, k_sum;
+  Net() {
+    const Shape x(6), w(4, 6);
+    const Shape reps[2] = {x, w};
+    k_dense = reg.add("g.dense", OpKind::kDense, 0, 2, reps);
+    k_tanh = reg.add("g.tanh", OpKind::kTanh, 0, 1, reps);
+    k_sum = reg.add("g.sum", OpKind::kSumAll, 0, 1, reps);
+  }
+};
+
+float forward(Net& net, const float* xv, const float* wv) {
+  TensorPool pool;
+  Tensor x = pool.alloc(RowVec(6));
+  Tensor w = pool.alloc(Shape(4, 6));
+  for (int i = 0; i < 6; ++i) x.data[i] = xv[i];
+  for (int i = 0; i < 24; ++i) w.data[i] = wv[i];
+  EngineConfig cfg;
+  Engine eng(net.reg, cfg);
+  const TRef xr = eng.add_concrete(x.view());
+  const TRef wr = eng.add_concrete(w.view());
+  InstCtx ctx{0};
+  const TRef ins[2] = {xr, wr};
+  const TRef d = eng.add_op(net.k_dense, ins, 2, ctx, 0);
+  const TRef t = eng.add_op(net.k_tanh, &d, 1, ctx, 0);
+  const TRef s = eng.add_op(net.k_sum, &t, 1, ctx, 0);
+  return eng.force(s).data[0];
+}
+
+void test_finite_differences() {
+  Net net;
+  Rng rng(11);
+  float xv[6], wv[24];
+  for (float& v : xv) v = rng.uniform(1.0f);
+  for (float& v : wv) v = rng.uniform(0.4f);
+
+  // Analytic gradients via backward().
+  TensorPool pool;
+  Tensor x = pool.alloc(RowVec(6));
+  Tensor w = pool.alloc(Shape(4, 6));
+  for (int i = 0; i < 6; ++i) x.data[i] = xv[i];
+  for (int i = 0; i < 24; ++i) w.data[i] = wv[i];
+  EngineConfig cfg;
+  Engine eng(net.reg, cfg);
+  const TRef xr = eng.add_concrete(x.view());
+  const TRef wr = eng.add_concrete(w.view());
+  InstCtx ctx{0};
+  const TRef ins[2] = {xr, wr};
+  const TRef d = eng.add_op(net.k_dense, ins, 2, ctx, 0);
+  const TRef t = eng.add_op(net.k_tanh, &d, 1, ctx, 0);
+  const TRef s = eng.add_op(net.k_sum, &t, 1, ctx, 0);
+  eng.trigger_execution();
+
+  grad::BackwardOptions bopts;
+  const grad::BackwardResult bw =
+      grad::backward(eng, net.reg, {{s, {1.0f}}}, bopts);
+  const auto& dx = bw.grads.at(xr.id);
+  const auto& dw = bw.grads.at(wr.id);
+
+  const float eps = 1e-3f;
+  for (int i = 0; i < 6; ++i) {
+    float xp[6], xm[6];
+    for (int j = 0; j < 6; ++j) xp[j] = xm[j] = xv[j];
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double fd = (forward(net, xp, wv) - forward(net, xm, wv)) / (2.0 * eps);
+    CHECK_NEAR(dx[static_cast<std::size_t>(i)], fd, 2e-2);
+  }
+  for (int i = 0; i < 24; i += 5) {
+    float wp[24], wm[24];
+    for (int j = 0; j < 24; ++j) wp[j] = wm[j] = wv[j];
+    wp[i] += eps;
+    wm[i] -= eps;
+    const double fd = (forward(net, xv, wp) - forward(net, xv, wm)) / (2.0 * eps);
+    CHECK_NEAR(dw[static_cast<std::size_t>(i)], fd, 2e-2);
+  }
+}
+
+void test_backward_inherits_batching() {
+  Net net;
+  TensorPool pool;
+  Rng rng(5);
+  const Tensor w = pool.alloc_random(Shape(4, 6), rng, 0.4f);
+
+  auto launches = [&](int instances, bool batched) {
+    long long total = 0;
+    auto run_group = [&](int n) {
+      EngineConfig cfg;
+      Engine eng(net.reg, cfg);
+      const TRef wr = eng.add_concrete(w.view());
+      std::vector<grad::Seed> seeds;
+      for (int i = 0; i < n; ++i) {
+        InstCtx ctx{i};
+        const Tensor x = pool.alloc_random(RowVec(6), rng, 1.0f);
+        const TRef xr = eng.add_concrete(x.view());
+        const TRef ins[2] = {xr, wr};
+        const TRef d = eng.add_op(net.k_dense, ins, 2, ctx, 0);
+        const TRef t = eng.add_op(net.k_tanh, &d, 1, ctx, 0);
+        seeds.push_back({t, std::vector<float>(4, 1.0f)});
+      }
+      eng.trigger_execution();
+      grad::BackwardOptions bopts;
+      total += grad::backward(eng, net.reg, seeds, bopts).backward_launches;
+    };
+    if (batched) {
+      run_group(instances);
+    } else {
+      for (int i = 0; i < instances; ++i) run_group(1);
+    }
+    return total;
+  };
+
+  const long long batched = launches(12, true);
+  const long long solo = launches(12, false);
+  CHECK(batched < solo);
+  CHECK_EQ(batched, 3);  // tanh:1 + dense:2 — one batch each
+  CHECK_EQ(solo, 36);
+}
+
+}  // namespace
+
+int main() {
+  test_finite_differences();
+  test_backward_inherits_batching();
+  return acrobat::test::finish("test_grad");
+}

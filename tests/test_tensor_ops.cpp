@@ -1,0 +1,116 @@
+// Tensor-op correctness against hand-computed references, and variant
+// agreement (every schedule variant of a kernel computes the same function).
+#include "support/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "test_util.h"
+
+using namespace acrobat;
+
+namespace {
+
+void test_dense_reference() {
+  // x = [1, 2], W = [[1, -1], [0.5, 0.25], [2, 0]] (3 outputs, row-major).
+  const float x[2] = {1.0f, 2.0f};
+  const float w[6] = {1.0f, -1.0f, 0.5f, 0.25f, 2.0f, 0.0f};
+  const Shape shapes[2] = {RowVec(2), Shape(3, 2)};
+  const float* ins[2] = {x, w};
+  float out[3] = {};
+  for (int variant = 0; variant < op_num_variants(OpKind::kDense); ++variant) {
+    run_op(OpKind::kDense, variant, ins, shapes, out, RowVec(3), 0);
+    CHECK_NEAR(out[0], -1.0, 1e-6);   // 1*1 + 2*(-1)
+    CHECK_NEAR(out[1], 1.0, 1e-6);    // 1*0.5 + 2*0.25
+    CHECK_NEAR(out[2], 2.0, 1e-6);    // 1*2 + 2*0
+  }
+}
+
+void test_matmul_reference() {
+  // a (2x2) · b (2x2)
+  const float a[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const float b[4] = {5.0f, 6.0f, 7.0f, 8.0f};
+  const Shape shapes[2] = {Shape(2, 2), Shape(2, 2)};
+  const float* ins[2] = {a, b};
+  float out[4] = {};
+  for (int variant = 0; variant < op_num_variants(OpKind::kMatMul); ++variant) {
+    run_op(OpKind::kMatMul, variant, ins, shapes, out, Shape(2, 2), 0);
+    CHECK_NEAR(out[0], 19.0, 1e-6);
+    CHECK_NEAR(out[1], 22.0, 1e-6);
+    CHECK_NEAR(out[2], 43.0, 1e-6);
+    CHECK_NEAR(out[3], 50.0, 1e-6);
+  }
+  // a·bᵀ
+  run_op(OpKind::kMatMulBT, 0, ins, shapes, out, Shape(2, 2), 0);
+  CHECK_NEAR(out[0], 17.0, 1e-6);  // [1 2]·[5 6]
+  CHECK_NEAR(out[1], 23.0, 1e-6);  // [1 2]·[7 8]
+  CHECK_NEAR(out[2], 39.0, 1e-6);
+  CHECK_NEAR(out[3], 53.0, 1e-6);
+}
+
+void test_eltwise_and_broadcast() {
+  const float a[6] = {1, 2, 3, 4, 5, 6};
+  const float b[3] = {10, 20, 30};
+  const Shape shapes[2] = {Shape(2, 3), RowVec(3)};
+  const float* ins[2] = {a, b};
+  float out[6] = {};
+  run_op(OpKind::kAdd, 0, ins, shapes, out, Shape(2, 3), 0);
+  CHECK_NEAR(out[0], 11.0, 1e-6);
+  CHECK_NEAR(out[5], 36.0, 1e-6);
+  run_op(OpKind::kMul, 1, ins, shapes, out, Shape(2, 3), 0);  // broadcast falls back
+  CHECK_NEAR(out[4], 100.0, 1e-6);
+}
+
+void test_softmax_and_reductions() {
+  const float a[3] = {0.0f, 0.0f, 0.0f};
+  const Shape s[1] = {RowVec(3)};
+  const float* ins[1] = {a};
+  float out[3] = {};
+  run_op(OpKind::kSoftmax, 0, ins, s, out, RowVec(3), 0);
+  CHECK_NEAR(out[0], 1.0 / 3.0, 1e-6);
+  float one[1] = {};
+  run_op(OpKind::kSumAll, 0, ins, s, one, Shape(1), 0);
+  CHECK_NEAR(one[0], 0.0, 1e-6);
+  run_op(OpKind::kMaxProb, 0, ins, s, one, Shape(1), 0);
+  CHECK_NEAR(one[0], 1.0 / 3.0, 1e-6);
+}
+
+void test_variants_agree() {
+  // Random larger shapes: all variants of a kind agree within float noise.
+  TensorPool pool;
+  Rng rng(42);
+  const Tensor x = pool.alloc_random(Shape(5, 33), rng, 1.0f);
+  const Tensor w = pool.alloc_random(Shape(17, 33), rng, 0.5f);
+  const Shape shapes[2] = {x.shape, w.shape};
+  const float* ins[2] = {x.data, w.data};
+  Tensor ref = pool.alloc(Shape(5, 17));
+  Tensor got = pool.alloc(Shape(5, 17));
+  run_op(OpKind::kDense, 0, ins, shapes, ref.data, ref.shape, 0);
+  for (int v = 1; v < op_num_variants(OpKind::kDense); ++v) {
+    run_op(OpKind::kDense, v, ins, shapes, got.data, got.shape, 0);
+    for (std::int64_t i = 0; i < ref.numel(); ++i) CHECK_NEAR(got.data[i], ref.data[i], 1e-4);
+  }
+}
+
+void test_lstm_pointwise() {
+  // One unit: gates [i f g o] = [0, 0, raw g, 0], c = 2.
+  const float gates[4] = {0.0f, 0.0f, 0.5f, 0.0f};
+  const float c[1] = {2.0f};
+  const Shape shapes[2] = {RowVec(4), RowVec(1)};
+  const float* ins[2] = {gates, c};
+  float out[1] = {};
+  run_op(OpKind::kLstmNewC, 0, ins, shapes, out, RowVec(1), 0);
+  // σ(0+1)*2 + σ(0)*tanh(0.5)
+  const double expect = 1.0 / (1.0 + std::exp(-1.0)) * 2.0 + 0.5 * std::tanh(0.5);
+  CHECK_NEAR(out[0], expect, 1e-6);
+}
+
+}  // namespace
+
+int main() {
+  test_dense_reference();
+  test_matmul_reference();
+  test_eltwise_and_broadcast();
+  test_softmax_and_reductions();
+  test_variants_agree();
+  test_lstm_pointwise();
+  return acrobat::test::finish("test_tensor_ops");
+}

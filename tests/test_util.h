@@ -1,0 +1,50 @@
+// Minimal test harness: CHECK macros + a failure count returned from main.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+
+namespace acrobat::test {
+
+inline int g_failures = 0;
+
+#define CHECK(cond)                                                              \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::printf("FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);                \
+      ++acrobat::test::g_failures;                                               \
+    }                                                                            \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                           \
+  do {                                                                           \
+    const auto va = (a);                                                         \
+    const auto vb = (b);                                                         \
+    if (!(va == vb)) {                                                           \
+      std::printf("FAIL %s:%d: %s == %s (%lld vs %lld)\n", __FILE__, __LINE__,   \
+                  #a, #b, static_cast<long long>(va), static_cast<long long>(vb)); \
+      ++acrobat::test::g_failures;                                               \
+    }                                                                            \
+  } while (0)
+
+#define CHECK_NEAR(a, b, tol)                                                    \
+  do {                                                                           \
+    const double va = (a);                                                       \
+    const double vb = (b);                                                       \
+    if (!(std::fabs(va - vb) <= (tol) * (1.0 + std::fabs(vb)))) {                \
+      std::printf("FAIL %s:%d: %s ~= %s (%g vs %g)\n", __FILE__, __LINE__, #a,   \
+                  #b, va, vb);                                                   \
+      ++acrobat::test::g_failures;                                               \
+    }                                                                            \
+  } while (0)
+
+inline int finish(const char* name) {
+  if (acrobat::test::g_failures == 0) {
+    std::printf("OK %s\n", name);
+    return 0;
+  }
+  std::printf("%d failure(s) in %s\n", acrobat::test::g_failures, name);
+  return 1;
+}
+
+}  // namespace acrobat::test

@@ -1,0 +1,85 @@
+// The boxed VM and the AOT executor must compute identical results for
+// every model (same program, same engine kernels — only dispatch differs),
+// and the batched runtime must match across schedulers.
+#include "baselines/dynet.h"
+#include "baselines/eager.h"
+#include "grad/backward.h"
+#include "harness/harness.h"
+#include "test_util.h"
+
+using namespace acrobat;
+
+namespace {
+
+harness::RunOptions out_opts() {
+  harness::RunOptions o;
+  o.collect_outputs = true;
+  return o;
+}
+
+void check_same(const harness::RunResult& a, const harness::RunResult& b, double tol) {
+  CHECK_EQ(a.outputs.size(), b.outputs.size());
+  for (std::size_t i = 0; i < a.outputs.size(); ++i) {
+    CHECK_EQ(a.outputs[i].size(), b.outputs[i].size());
+    for (std::size_t j = 0; j < a.outputs[i].size(); ++j)
+      CHECK_NEAR(a.outputs[i][j], b.outputs[i][j], tol);
+  }
+}
+
+void test_vm_vs_aot_all_models() {
+  for (const auto& spec : models::all_models()) {
+    const models::Dataset ds = spec.build_dataset(false, 4, 0x1234);
+    harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+    const harness::RunResult aot = harness::run_acrobat(p, ds, out_opts());
+    const harness::RunResult vm = harness::run_vm(p, ds, out_opts());
+    CHECK(!aot.outputs.empty());
+    check_same(aot, vm, 1e-5);
+  }
+}
+
+void test_batched_vs_eager_numerics() {
+  // The lazy batched runtime and the eager per-op baseline agree (same
+  // per-op pipeline so the kernel graphs match exactly).
+  for (const char* name : {"TreeLSTM", "BiRNN", "NestedRNN"}) {
+    const models::ModelSpec& spec = models::model_by_name(name);
+    const models::Dataset ds = spec.build_dataset(false, 4, 0x77);
+    harness::Prepared lazy = harness::prepare(spec, false, grad::training_pipeline_config());
+    harness::Prepared eager = harness::prepare(spec, false, baselines::eager_pipeline_config());
+    const harness::RunResult a = harness::run_acrobat(lazy, ds, out_opts());
+    const harness::RunResult b = baselines::run_eager(eager, ds, out_opts());
+    check_same(a, b, 1e-5);
+  }
+}
+
+void test_dynet_schedulers_numerics() {
+  for (const char* name : {"TreeLSTM", "MV-RNN"}) {
+    const models::ModelSpec& spec = models::model_by_name(name);
+    const models::Dataset ds = spec.build_dataset(false, 4, 0x99);
+    harness::Prepared p = harness::prepare(spec, false, baselines::dynet_pipeline_config());
+    harness::Prepared pe = harness::prepare(spec, false, baselines::eager_pipeline_config());
+    const harness::RunResult ref = baselines::run_eager(pe, ds, out_opts());
+    // run_dynet has no output collection; drive the same configs through
+    // run_with_engine to compare numerics under both dynamic schedulers.
+    for (const bool agenda : {true, false}) {
+      EngineConfig ec;
+      ec.inline_depth = false;
+      ec.phases = false;
+      ec.gather_fusion = false;
+      ec.const_reuse = false;
+      ec.scheduler = agenda ? SchedulerKind::kAgenda : SchedulerKind::kDepth;
+      ec.shape_keyed_batching = false;
+      ec.boxed_dfg = true;
+      const harness::RunResult d = harness::run_with_engine(p, ds, out_opts(), ec, false, false);
+      check_same(ref, d, 1e-5);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  test_vm_vs_aot_all_models();
+  test_batched_vs_eager_numerics();
+  test_dynet_schedulers_numerics();
+  return acrobat::test::finish("test_vm_aot_parity");
+}

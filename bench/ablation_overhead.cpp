@@ -56,7 +56,7 @@ int main() {
 
   std::printf("ACROBAT speedup over DyNet (best of two schedulers):\n");
   std::printf("%-10s", "model");
-  for (const std::int64_t ns : sweeps) std::printf(" %7lldus", ns / 1000);
+  for (const std::int64_t ns : sweeps) std::printf(" %7lldus", static_cast<long long>(ns / 1000));
   std::printf("\n");
   for (const char* name : {"TreeLSTM", "MV-RNN", "StackRNN"}) {
     const models::ModelSpec& spec = models::model_by_name(name);
@@ -77,7 +77,7 @@ int main() {
   const std::int64_t drnn_sweeps[] = {0, 3000, 10000, 30000, 100000};
   constexpr int kN = 5;
   std::printf("%-22s", "configuration");
-  for (const std::int64_t ns : drnn_sweeps) std::printf(" %7lldus", ns / 1000);
+  for (const std::int64_t ns : drnn_sweeps) std::printf(" %7lldus", static_cast<long long>(ns / 1000));
   std::printf("\n");
   {
     const models::ModelSpec& spec = models::model_by_name("DRNN");

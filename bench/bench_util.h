@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -18,11 +19,30 @@
 #include "baselines/dynet.h"
 #include "baselines/eager.h"
 #include "harness/harness.h"
+#include "serve/stats.h"
 
 namespace acrobat::bench {
 
-constexpr std::int64_t kLaunchNs = 3000;  // ~CUDA kernel launch latency
-constexpr int kIters = 3;
+// Environment override for bench knobs (CI runs benches fast with
+// ACROBAT_BENCH_ITERS=1; regime sweeps set ACROBAT_LAUNCH_NS without
+// recompiling). Empty/unset falls back to the default.
+inline std::int64_t env_int(const char* name, std::int64_t dflt) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::atoll(v) : dflt;
+}
+
+inline const std::int64_t kLaunchNs =
+    std::max<std::int64_t>(0, env_int("ACROBAT_LAUNCH_NS", 3000));  // ~CUDA launch latency
+inline const int kIters = static_cast<int>(
+    std::max<std::int64_t>(1, env_int("ACROBAT_BENCH_ITERS", 3)));
+
+// Latency-distribution aggregation (serve_latency and any bench reporting
+// tails instead of a min): nearest-rank p50/p95/p99 + mean.
+using serve::Percentiles;
+
+inline Percentiles percentiles(std::vector<double> samples) {
+  return Percentiles::of(std::move(samples));
+}
 
 inline harness::RunOptions default_opts() {
   harness::RunOptions o;

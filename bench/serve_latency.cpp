@@ -1,0 +1,105 @@
+// serve_latency: the latency-throughput frontier of cross-request
+// continuous batching (DESIGN.md §7).
+//
+// An open-loop Poisson load generator replays a seeded request trace
+// against the serving layer while we sweep arrival rate x batching policy
+// x shard count. Expected shape: below capacity all policies sit near the
+// solo latency; past capacity the greedy p99 blows up with queueing while
+// max-batch bounds trigger width (throughput cap, flatter tail) and the
+// SLO-deadline policy trades a little p50 for batch width. Two shards move
+// the knee to ~2x the rate. A burst block shows tail inflation at equal
+// mean rate. Rates are chosen relative to the measured single-request
+// service time, so the sweep straddles capacity on any machine.
+#include "bench_util.h"
+#include "serve/server.h"
+
+using namespace acrobat;
+using namespace acrobat::bench;
+
+namespace {
+
+void print_point(double rate, const char* policy, int shards,
+                 const serve::ServeResult& res) {
+  std::printf("%8.0f %-10s %6d | %8.3f %8.3f %8.3f %8.3f | %8.0f %9lld\n", rate,
+              policy, shards, res.latency_ms.p50, res.latency_ms.p95,
+              res.latency_ms.p99, res.latency_ms.mean, res.throughput_rps,
+              res.total_launches());
+}
+
+}  // namespace
+
+int main() {
+  const models::ModelSpec& spec = models::model_by_name("TreeLSTM");
+  const bool large = false;
+  const int n_inputs = 24;
+  const models::Dataset ds = dataset_for(spec, large, n_inputs);
+  harness::Prepared p = harness::prepare(spec, large, passes::PipelineConfig{});
+
+  const int n_requests =
+      static_cast<int>(std::max<std::int64_t>(1, env_int("ACROBAT_SERVE_REQUESTS", 96)));
+
+  // Calibrate the sweep: solo service time sets the capacity scale.
+  models::Dataset one;
+  one.pool = ds.pool;
+  one.tensors = ds.tensors;
+  one.inputs.push_back(ds.inputs[0]);
+  const double solo_ms =
+      time_min_ms([&] { return harness::run_acrobat(p, one, default_opts()); });
+  const double base_rps = 1000.0 / std::max(solo_ms, 1e-3);
+
+  header("serve_latency: continuous-batching latency-throughput frontier",
+         "DESIGN.md §7 (serving model)");
+  std::printf("model=%s/%s  solo=%.3fms (~%.0f rps/shard solo)  requests=%d\n",
+              spec.name.c_str(), size_name(large), solo_ms, base_rps, n_requests);
+  std::printf("%8s %-10s %6s | %8s %8s %8s %8s | %8s %9s\n", "rate", "policy",
+              "shards", "p50ms", "p95ms", "p99ms", "mean", "thpt", "launches");
+
+  std::vector<serve::PolicyConfig> policies(3);
+  policies[0].kind = serve::PolicyKind::kGreedy;
+  policies[1].kind = serve::PolicyKind::kMaxBatch;
+  policies[1].max_batch = 8;
+  policies[2].kind = serve::PolicyKind::kDeadline;
+  policies[2].min_batch = 4;
+  policies[2].slo_ns = static_cast<std::int64_t>(solo_ms * 8e6);
+  policies[2].max_hold_ns = static_cast<std::int64_t>(solo_ms * 0.5e6);
+
+  for (const int shards : {1, 2}) {
+    for (const double mult : {0.5, 2.0, 6.0}) {
+      const double rate = base_rps * mult * shards;
+      for (const serve::PolicyConfig& pc : policies) {
+        serve::LoadSpec ls;
+        ls.kind = serve::ArrivalKind::kPoisson;
+        ls.rate_rps = rate;
+        ls.num_requests = n_requests;
+        ls.seed = 42;
+        const std::vector<serve::Request> trace =
+            serve::generate_load(ls, ds.inputs.size());
+        serve::ServeOptions so;
+        so.shards = shards;
+        so.policy = pc;
+        so.launch_overhead_ns = kLaunchNs;
+        const serve::ServeResult res = serve::serve(p, ds, trace, so);
+        print_point(rate, serve::policy_name(pc.kind), shards, res);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("burst arrivals (mean rate 2x capacity, bursts of 8):\n");
+  for (const serve::PolicyConfig& pc : policies) {
+    serve::LoadSpec ls;
+    ls.kind = serve::ArrivalKind::kBurst;
+    ls.burst_size = 8;
+    ls.rate_rps = base_rps * 2.0;
+    ls.num_requests = n_requests;
+    ls.seed = 42;
+    const std::vector<serve::Request> trace =
+        serve::generate_load(ls, ds.inputs.size());
+    serve::ServeOptions so;
+    so.policy = pc;
+    so.launch_overhead_ns = kLaunchNs;
+    const serve::ServeResult res = serve::serve(p, ds, trace, so);
+    print_point(ls.rate_rps, serve::policy_name(pc.kind), 1, res);
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -105,6 +106,13 @@ class Engine {
 
   void set_fiber_scheduler(FiberScheduler* fs) { fibers_ = fs; }
 
+  // Serving hook (serve/server.h): called at the top of every trigger,
+  // before pending ops are scheduled. The hook may admit newly arrived
+  // requests (spawn fibers and step them until they suspend), so one
+  // trigger batches ops from old and new requests together — continuous
+  // batching across requests, not just across a closed instance batch.
+  void set_admission_hook(std::function<void()> hook) { admission_hook_ = std::move(hook); }
+
   const EngineStats& stats() const { return stats_; }
   const KernelRegistry& registry() const { return registry_; }
 
@@ -149,8 +157,10 @@ class Engine {
   std::unordered_map<int, TRef> const_cache_;  // const_reuse: kernel id → node
   std::vector<std::shared_ptr<std::string>> boxed_;  // boxed_dfg allocations
   FiberScheduler* fibers_ = nullptr;
+  std::function<void()> admission_hook_;
   std::size_t live_bytes_ = 0;
   bool in_trigger_ = false;
+  bool in_admission_ = false;
 };
 
 }  // namespace acrobat

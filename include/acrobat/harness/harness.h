@@ -52,6 +52,17 @@ struct Prepared {
 
 Prepared prepare(const models::ModelSpec& spec, bool large, const passes::PipelineConfig& cfg);
 
+// Collects every tensor leaf of a structured result value, in traversal
+// order (shared by run_with_engine and serve/server.h).
+void collect_output_trefs(const Value& v, std::vector<TRef>& out);
+
+// Maps a compiled module's pipeline config onto engine behavior flags —
+// the single source of truth shared by run_acrobat, run_vm, and the
+// serving layer, so a serve engine can never silently diverge from the
+// closed-batch one (tests/test_serve.cpp relies on bitwise parity).
+EngineConfig engine_config_for(const passes::PipelineConfig& cfg,
+                               std::int64_t launch_overhead_ns, bool time_activities);
+
 // Sets every kernel to its last (assumed fastest) schedule variant; called
 // by prepare, re-applied by benches after autosched::reset_schedules.
 void apply_default_schedules(KernelRegistry& registry);

@@ -6,9 +6,18 @@
 // tensor-dependent control flow (DRNN generation, Berxit early exit) still
 // batch across instances.
 //
-// Single-threaded by design (ucontext swap, no locks): determinism and zero
-// synchronization cost are the point — concurrency here is about program
-// shape, not parallel hardware.
+// Two driving modes share the same machinery:
+//  - `run` executes a closed batch of tasks to completion (the bench/test
+//    path: every instance is known up front).
+//  - the primitive API (`spawn` / `step_ready` / `wake_blocked` /
+//    `reap_done`) lets a driver admit new fibers while earlier ones are
+//    suspended — continuous batching across requests (serve/server.h).
+//
+// Single-threaded per scheduler (ucontext swap, no locks): determinism and
+// zero synchronization cost are the point — concurrency here is about
+// program shape, not parallel hardware. Shard workers (serve/) each own a
+// private scheduler on their own thread; the active-scheduler slot is
+// thread-local, so schedulers never share state across threads.
 #pragma once
 
 #include <ucontext.h>
@@ -28,10 +37,34 @@ class FiberScheduler {
   FiberScheduler(const FiberScheduler&) = delete;
   FiberScheduler& operator=(const FiberScheduler&) = delete;
 
-  // Runs all tasks to completion. Whenever no fiber is runnable but some
-  // are blocked, calls `on_all_blocked` (the engine trigger) and wakes
-  // every blocked fiber.
+  // Closed-batch mode: runs all tasks to completion. Whenever no fiber is
+  // runnable but some are blocked, calls `on_all_blocked` (the engine
+  // trigger) and wakes every blocked fiber.
   void run(std::vector<FiberTask> tasks, const std::function<void()>& on_all_blocked);
+
+  // --- primitive API (dynamic admission; all calls from the scheduler
+  // side, never from inside a fiber) ---
+
+  // Admits a new fiber in the ready state. Legal while other fibers are
+  // suspended: a serve-loop trigger boundary admits newly arrived requests
+  // so their ops batch with the suspended instances' pending ops.
+  void spawn(FiberTask task);
+
+  // Runs every ready fiber until it blocks or completes; returns how many
+  // fibers were stepped.
+  std::size_t step_ready();
+
+  // Fibers that are ready or blocked (completed-but-unreaped excluded).
+  std::size_t live() const;
+  bool any_blocked() const;
+
+  // Moves every blocked fiber back to ready (their futures materialized by
+  // the trigger that just ran); counts one idle trigger when any woke.
+  void wake_blocked();
+
+  // Recycles completed fibers onto the free list (stack kept for reuse);
+  // returns how many were reaped.
+  std::size_t reap_done();
 
   // Called from inside a fiber (via Engine::sync): suspends the current
   // fiber until the next wake.
@@ -42,7 +75,15 @@ class FiberScheduler {
   // Number of all-blocked wakeups performed (tests and diagnostics).
   long long idle_triggers() const { return idle_triggers_; }
 
+  // Stacks ever allocated by this scheduler. Under serving load fibers are
+  // created per request; the free-list pool keeps this bounded by the peak
+  // number of concurrently live fibers, not the request count.
+  long long stacks_allocated() const { return stacks_allocated_; }
+
  private:
+  // Heap-stable: glibc's ucontext_t points into itself (uc_mcontext.fpregs),
+  // so a Fiber must never move once getcontext has run. Dynamic admission
+  // grows the fiber list mid-run, hence unique_ptr elements.
   struct Fiber {
     ucontext_t ctx;
     std::unique_ptr<char[]> stack;
@@ -55,9 +96,11 @@ class FiberScheduler {
   static constexpr std::size_t kStackBytes = 256 * 1024;
 
   ucontext_t main_ctx_;
-  std::vector<Fiber> fibers_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<std::unique_ptr<Fiber>> pool_;  // recycled fibers, stacks retained
   int current_ = -1;
   long long idle_triggers_ = 0;
+  long long stacks_allocated_ = 0;
 };
 
 }  // namespace acrobat

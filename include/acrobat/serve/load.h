@@ -1,0 +1,38 @@
+// Open-loop load generation (DESIGN.md §7): a seeded arrival process over a
+// model's dataset stands in for user traffic the way §2's spin stands in
+// for GPU launch latency. Open-loop means arrivals do not wait for the
+// server — queueing delay under overload is part of the measured latency,
+// which is what makes the latency-throughput frontier honest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace acrobat::serve {
+
+// One inference request: `input_index` selects an instance from the model's
+// dataset; `arrival_ns` is the enqueue time relative to serve start.
+struct Request {
+  int id = 0;
+  std::size_t input_index = 0;
+  std::int64_t arrival_ns = 0;
+};
+
+enum class ArrivalKind {
+  kPoisson,  // exponential inter-arrival times at `rate_rps`
+  kBurst,    // Poisson bursts of `burst_size` simultaneous arrivals
+};
+
+struct LoadSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_rps = 1000.0;  // mean arrival rate, requests per second
+  int num_requests = 64;
+  int burst_size = 8;  // kBurst only
+  std::uint64_t seed = 1;
+};
+
+// Deterministic per (spec, num_inputs): ids are 0..num_requests-1 in
+// arrival order, input indices uniform over [0, num_inputs).
+std::vector<Request> generate_load(const LoadSpec& spec, std::size_t num_inputs);
+
+}  // namespace acrobat::serve

@@ -1,0 +1,55 @@
+// Batching policies: at every trigger boundary the shard asks its policy
+// how many queued requests to admit into the live fiber pool, and whether
+// to hold the trigger briefly to let more arrivals join the batch. The
+// policy sees only shard-local state — policies never synchronize across
+// shards (DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace acrobat::serve {
+
+struct PolicyCtx {
+  std::int64_t now_ns = 0;   // since serve start
+  std::size_t queued = 0;    // arrived at this shard, not yet admitted
+  std::size_t live = 0;      // admitted requests in flight
+  std::int64_t oldest_queued_arrival_ns = -1;  // -1: queue empty
+  std::int64_t oldest_live_arrival_ns = -1;    // -1: nothing in flight
+  bool inbox_open = true;  // false once the dispatcher has sent everything
+};
+
+struct AdmitDecision {
+  // Upper bound on requests to admit this round (actual = min with queued).
+  std::size_t max_admit = static_cast<std::size_t>(-1);
+  // If > now and everything live is suspended, poll for new arrivals until
+  // this time before triggering — the batch-forming pause.
+  std::int64_t hold_until_ns = -1;
+};
+
+class BatchPolicy {
+ public:
+  virtual ~BatchPolicy() = default;
+  virtual AdmitDecision decide(const PolicyCtx& ctx) = 0;
+  virtual const char* name() const = 0;
+};
+
+enum class PolicyKind {
+  kGreedy,    // admit everything that has arrived; never hold a trigger
+  kMaxBatch,  // cap the live pool at `max_batch` (bounds per-trigger width)
+  kDeadline,  // greedy admission + hold triggers while the batch is small
+              // and the oldest in-flight request still has SLO slack
+};
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kGreedy;
+  std::size_t max_batch = 8;          // kMaxBatch
+  std::size_t min_batch = 4;          // kDeadline: stop holding at this width
+  std::int64_t slo_ns = 2'000'000;    // kDeadline: per-request latency target
+  std::int64_t max_hold_ns = 200'000; // kDeadline: cap on one hold
+};
+
+std::unique_ptr<BatchPolicy> make_policy(const PolicyConfig& cfg);
+const char* policy_name(PolicyKind kind);
+
+}  // namespace acrobat::serve

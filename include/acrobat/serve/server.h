@@ -1,0 +1,81 @@
+// The continuous-batching serving layer (DESIGN.md §7).
+//
+// serve() plays a request trace against a prepared model: a dispatcher
+// walks the trace in real time (open-loop — arrivals never wait for the
+// server) and routes each request to one of N shard workers over an SPSC
+// inbox. Each shard is a thread that exclusively owns an engine + arena +
+// fiber pool; requests admitted into the live pool record ops as fibers,
+// and every trigger batches pending ops across all in-flight requests, old
+// and new (Engine::set_admission_hook). Shards share no mutable state —
+// scaling is by sharding, and the only cross-thread traffic is the inbox
+// ring plus one per-shard load counter the least-loaded dispatcher reads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/harness.h"
+#include "serve/load.h"
+#include "serve/policy.h"
+#include "serve/stats.h"
+
+namespace acrobat::serve {
+
+enum class DispatchKind {
+  kRoundRobin,   // shard = request id mod N (static, zero coordination)
+  kLeastLoaded,  // fewest outstanding requests at arrival time
+};
+
+struct ServeOptions {
+  int shards = 1;
+  DispatchKind dispatch = DispatchKind::kRoundRobin;
+  PolicyConfig policy;
+  std::int64_t launch_overhead_ns = 0;
+  bool collect_outputs = false;  // flatten each request's result tensors
+  bool time_activities = false;
+};
+
+// Per-request ledger: enqueue → admission → completion, all relative to
+// serve start. Latency (the SLO quantity) is completion - arrival, so time
+// spent queued behind an overloaded shard counts.
+struct RequestRecord {
+  int id = -1;
+  int shard = -1;
+  std::int64_t arrival_ns = 0;
+  std::int64_t admit_ns = -1;
+  std::int64_t completion_ns = -1;
+  std::vector<float> output;  // when collect_outputs
+
+  double latency_ms() const {
+    return static_cast<double>(completion_ns - arrival_ns) * 1e-6;
+  }
+};
+
+struct ShardReport {
+  int requests = 0;
+  long long triggers = 0;        // all-blocked wakeups (fiber scheduler)
+  std::size_t max_live = 0;      // peak concurrently admitted requests
+  long long stacks_allocated = 0;
+  ActivityStats stats;           // per-activity engine buckets + launches
+};
+
+struct ServeResult {
+  std::vector<RequestRecord> records;  // indexed by request id
+  Percentiles latency_ms;              // enqueue → completion
+  double throughput_rps = 0;
+  double makespan_ms = 0;  // first arrival to last completion
+  std::vector<ShardReport> shards;
+
+  long long total_launches() const {
+    long long n = 0;
+    for (const ShardReport& s : shards) n += s.stats.kernel_launches;
+    return n;
+  }
+};
+
+// `trace` must be sorted by arrival_ns with ids 0..N-1 (generate_load's
+// contract). Blocks until every request has completed.
+ServeResult serve(const harness::Prepared& p, const models::Dataset& ds,
+                  const std::vector<Request>& trace, const ServeOptions& opts);
+
+}  // namespace acrobat::serve

@@ -1,0 +1,40 @@
+// Latency aggregation for the serving layer: nearest-rank percentiles over
+// a sample vector. Reused by bench_util.h for every bench that reports a
+// distribution instead of a min (DESIGN.md §6 measures achievable latency;
+// serving SLOs are about the tail, so serve_latency reports p50/p95/p99).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace acrobat::serve {
+
+struct Percentiles {
+  double p50 = 0, p95 = 0, p99 = 0, mean = 0, max = 0;
+  std::size_t count = 0;
+
+  // Nearest-rank: the ceil(q*N)-th smallest sample.
+  static Percentiles of(std::vector<double> samples) {
+    Percentiles r;
+    r.count = samples.size();
+    if (samples.empty()) return r;
+    std::sort(samples.begin(), samples.end());
+    const auto rank = [&](double q) {
+      std::size_t i = static_cast<std::size_t>(std::ceil(q * static_cast<double>(samples.size())));
+      if (i > 0) --i;
+      return samples[std::min(i, samples.size() - 1)];
+    };
+    r.p50 = rank(0.50);
+    r.p95 = rank(0.95);
+    r.p99 = rank(0.99);
+    double sum = 0;
+    for (const double s : samples) sum += s;
+    r.mean = sum / static_cast<double>(samples.size());
+    r.max = samples.back();
+    return r;
+  }
+};
+
+}  // namespace acrobat::serve

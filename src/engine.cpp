@@ -270,7 +270,21 @@ void Engine::schedule_agenda(std::vector<std::uint32_t>& pending) {
 }
 
 void Engine::trigger_execution() {
-  if (in_trigger_ || pending_.empty()) return;
+  if (in_trigger_) return;
+  if (admission_hook_ && !in_admission_) {
+    // Last-call admission: requests that arrived while instances were
+    // recording get their ops into this trigger's pending set, so old and
+    // new requests share the same batches.
+    in_admission_ = true;
+    try {
+      admission_hook_();
+    } catch (...) {
+      in_admission_ = false;
+      throw;
+    }
+    in_admission_ = false;
+  }
+  if (pending_.empty()) return;
   in_trigger_ = true;
   std::vector<std::uint32_t> pend;
   pend.swap(pending_);

@@ -5,83 +5,142 @@
 namespace acrobat {
 namespace {
 
-// ucontext trampolines cannot portably carry pointer arguments; the
-// scheduler is single-threaded, so the active instance lives here.
-FiberScheduler* g_active = nullptr;
+// ucontext trampolines cannot portably carry pointer arguments; each
+// scheduler is single-threaded on its own thread (serve/ shards run one
+// scheduler per worker thread), so the active scheduler lives in TLS.
+thread_local FiberScheduler* g_active = nullptr;
 
 }  // namespace
 
 void FiberScheduler::trampoline() {
-  // g_active and current_ are set by run() right before swapcontext.
+  // g_active and current_ are set by step_ready right before swapcontext.
   FiberScheduler* s = g_active;
-  Fiber& f = s->fibers_[static_cast<std::size_t>(s->current_)];
-  f.task();
-  f.state = Fiber::kDone;
+  s->fibers_[static_cast<std::size_t>(s->current_)]->task();
+  // Re-read both: the fiber may have suspended inside task() and resumed at
+  // a different index after reap_done compacted the list. current_ always
+  // names this fiber while it runs; stale locals from before a suspension
+  // may not.
+  s = g_active;
+  s->fibers_[static_cast<std::size_t>(s->current_)]->state = Fiber::kDone;
   // Returning falls through to uc_link (the scheduler's context).
+}
+
+void FiberScheduler::spawn(FiberTask task) {
+  assert(current_ < 0 && "spawn must run on the scheduler side, not inside a fiber");
+  std::unique_ptr<Fiber> f;
+  if (!pool_.empty()) {
+    f = std::move(pool_.back());
+    pool_.pop_back();
+  } else {
+    f = std::make_unique<Fiber>();
+    f->stack.reset(new char[kStackBytes]);
+    ++stacks_allocated_;
+  }
+  f->task = std::move(task);
+  f->state = Fiber::kReady;
+  getcontext(&f->ctx);
+  f->ctx.uc_stack.ss_sp = f->stack.get();
+  f->ctx.uc_stack.ss_size = kStackBytes;
+  f->ctx.uc_link = &main_ctx_;
+  makecontext(&f->ctx, reinterpret_cast<void (*)()>(&FiberScheduler::trampoline), 0);
+  fibers_.push_back(std::move(f));
+}
+
+std::size_t FiberScheduler::step_ready() {
+  assert(current_ < 0 && "step_ready from inside a fiber");
+  assert((g_active == nullptr || g_active == this) &&
+         "nested fiber schedulers on one thread are not supported");
+  FiberScheduler* const prev = g_active;
+  g_active = this;
+  std::size_t ran = 0;
+  // fibers_ may grow during the walk only via spawn, which is barred inside
+  // fibers; index-based iteration keeps the walk valid regardless.
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    if (fibers_[i]->state != Fiber::kReady) continue;
+    ++ran;
+    current_ = static_cast<int>(i);
+    swapcontext(&main_ctx_, &fibers_[i]->ctx);
+    current_ = -1;
+  }
+  g_active = prev;
+  return ran;
+}
+
+std::size_t FiberScheduler::live() const {
+  std::size_t n = 0;
+  for (const auto& f : fibers_)
+    if (f->state != Fiber::kDone) ++n;
+  return n;
+}
+
+bool FiberScheduler::any_blocked() const {
+  for (const auto& f : fibers_)
+    if (f->state == Fiber::kBlocked) return true;
+  return false;
+}
+
+void FiberScheduler::wake_blocked() {
+  assert(current_ < 0 && "wake_blocked from inside a fiber");
+  bool woke = false;
+  for (auto& f : fibers_)
+    if (f->state == Fiber::kBlocked) {
+      f->state = Fiber::kReady;
+      woke = true;
+    }
+  if (woke) ++idle_triggers_;
+}
+
+std::size_t FiberScheduler::reap_done() {
+  assert(current_ < 0 && "reap_done from inside a fiber");
+  std::size_t reaped = 0;
+  for (std::size_t i = 0; i < fibers_.size();) {
+    if (fibers_[i]->state != Fiber::kDone) {
+      ++i;
+      continue;
+    }
+    std::unique_ptr<Fiber> f = std::move(fibers_[i]);
+    fibers_[i] = std::move(fibers_.back());
+    fibers_.pop_back();
+    f->task = nullptr;  // release captured state now, not at next reuse
+    pool_.push_back(std::move(f));
+    ++reaped;
+  }
+  return reaped;
 }
 
 void FiberScheduler::run(std::vector<FiberTask> tasks,
                          const std::function<void()>& on_all_blocked) {
-  assert(g_active == nullptr && "nested fiber schedulers are not supported");
-  fibers_.clear();
-  fibers_.resize(tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    Fiber& f = fibers_[i];
-    f.task = std::move(tasks[i]);
-    f.stack.reset(new char[kStackBytes]);
-    getcontext(&f.ctx);
-    f.ctx.uc_stack.ss_sp = f.stack.get();
-    f.ctx.uc_stack.ss_size = kStackBytes;
-    f.ctx.uc_link = &main_ctx_;
-    makecontext(&f.ctx, reinterpret_cast<void (*)()>(&FiberScheduler::trampoline), 0);
-  }
-
-  g_active = this;
+  assert(fibers_.empty() && "run() on a scheduler with live fibers");
+  for (FiberTask& t : tasks) spawn(std::move(t));
   try {
     for (;;) {
-      bool ran_any = false;
-      for (std::size_t i = 0; i < fibers_.size(); ++i) {
-        if (fibers_[i].state != Fiber::kReady) continue;
-        ran_any = true;
-        current_ = static_cast<int>(i);
-        swapcontext(&main_ctx_, &fibers_[i].ctx);
-        current_ = -1;
-      }
-      std::size_t done = 0;
-      bool any_blocked = false;
-      for (const Fiber& f : fibers_) {
-        if (f.state == Fiber::kBlocked) any_blocked = true;
-        if (f.state == Fiber::kDone) ++done;
-      }
-      if (done == fibers_.size()) break;
-      if (any_blocked) {
+      step_ready();
+      reap_done();
+      if (fibers_.empty()) break;  // all done
+      if (any_blocked()) {
         // Every live instance is suspended at a sync point: wake the engine,
         // then resume them all (their futures are now materialized).
-        ++idle_triggers_;
         on_all_blocked();
-        for (Fiber& f : fibers_)
-          if (f.state == Fiber::kBlocked) f.state = Fiber::kReady;
-      } else if (!ran_any) {
+        wake_blocked();
+      } else {
         break;  // defensive: nothing runnable, nothing blocked, not all done
       }
     }
   } catch (...) {
-    // e.g. OomError out of on_all_blocked: abandon the suspended fibers but
-    // leave the scheduler reusable.
-    g_active = nullptr;
+    // e.g. OomError out of on_all_blocked: abandon the suspended fibers
+    // (their stacks are freed, not recycled — live frames were never
+    // unwound) but leave the scheduler reusable.
     current_ = -1;
     fibers_.clear();
     throw;
   }
-  g_active = nullptr;
-  fibers_.clear();
 }
 
 void FiberScheduler::block_current() {
   assert(current_ >= 0 && "block_current outside a fiber");
-  const int idx = current_;
-  fibers_[static_cast<std::size_t>(idx)].state = Fiber::kBlocked;
-  swapcontext(&fibers_[static_cast<std::size_t>(idx)].ctx, &main_ctx_);
+  const std::size_t idx = static_cast<std::size_t>(current_);
+  fibers_[idx]->state = Fiber::kBlocked;
+  swapcontext(&fibers_[idx]->ctx, &main_ctx_);
 }
 
 }  // namespace acrobat

@@ -7,25 +7,34 @@
 #include "runtime/fiber.h"
 
 namespace acrobat::harness {
-namespace {
 
-void collect_trefs(const Value& v, std::vector<TRef>& out) {
+void collect_output_trefs(const Value& v, std::vector<TRef>& out) {
   switch (v.kind) {
     case Value::kTensor:
       out.push_back(v.tref);
       return;
     case Value::kAdt:
-      for (const Value& f : v.adt->fields) collect_trefs(f, out);
+      for (const Value& f : v.adt->fields) collect_output_trefs(f, out);
       return;
     case Value::kTuple:
-      for (const Value& e : v.tuple->elems) collect_trefs(e, out);
+      for (const Value& e : v.tuple->elems) collect_output_trefs(e, out);
       return;
     default:
       return;
   }
 }
 
-}  // namespace
+EngineConfig engine_config_for(const passes::PipelineConfig& cfg,
+                               std::int64_t launch_overhead_ns, bool time_activities) {
+  EngineConfig ec;
+  ec.launch_overhead_ns = launch_overhead_ns;
+  ec.time_activities = time_activities;
+  ec.lazy = cfg.lazy;
+  ec.inline_depth = cfg.inline_depth;
+  ec.phases = cfg.phases;
+  ec.gather_fusion = cfg.gather_fusion;
+  return ec;
+}
 
 void apply_default_schedules(KernelRegistry& registry) {
   for (std::size_t i = 0; i < registry.num_kernels(); ++i) {
@@ -98,7 +107,7 @@ RunResult run_with_engine(const Prepared& p, const models::Dataset& ds, const Ru
 
     for (std::size_t i = 0; i < n; ++i) {
       std::vector<TRef> outs;
-      collect_trefs(results[i], outs);
+      collect_output_trefs(results[i], outs);
       std::vector<float> flat;
       for (const TRef ref : outs) {
         const Tensor t = engine.force(ref);
@@ -118,13 +127,8 @@ RunResult run_with_engine(const Prepared& p, const models::Dataset& ds, const Ru
 }
 
 RunResult run_acrobat(const Prepared& p, const models::Dataset& ds, const RunOptions& opts) {
-  EngineConfig ec;
-  ec.launch_overhead_ns = opts.launch_overhead_ns;
-  ec.time_activities = opts.time_activities;
-  ec.lazy = p.cfg.lazy;
-  ec.inline_depth = p.cfg.inline_depth;
-  ec.phases = p.cfg.phases;
-  ec.gather_fusion = p.cfg.gather_fusion;
+  const EngineConfig ec =
+      engine_config_for(p.cfg, opts.launch_overhead_ns, opts.time_activities);
   // Fibers need the compiled-in depth counters; without inline depth the
   // runtime falls back to instance-at-a-time triggering at sync points.
   const bool fibers =
@@ -133,14 +137,10 @@ RunResult run_acrobat(const Prepared& p, const models::Dataset& ds, const RunOpt
 }
 
 RunResult run_vm(const Prepared& p, const models::Dataset& ds, const RunOptions& opts) {
-  EngineConfig ec;
-  ec.launch_overhead_ns = opts.launch_overhead_ns;
-  ec.time_activities = opts.time_activities;
-  ec.lazy = p.cfg.lazy;
+  EngineConfig ec =
+      engine_config_for(p.cfg, opts.launch_overhead_ns, opts.time_activities);
   // The naive interpreter recovers depths dynamically (Table 4's VM).
   ec.inline_depth = false;
-  ec.phases = p.cfg.phases;
-  ec.gather_fusion = p.cfg.gather_fusion;
   return run_with_engine(p, ds, opts, ec, /*use_fibers=*/false, /*use_vm=*/true);
 }
 

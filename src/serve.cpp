@@ -1,0 +1,345 @@
+#include "serve/server.h"
+
+#include <sched.h>
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <cmath>
+#include <deque>
+#include <span>
+#include <thread>
+
+#include "exec/aot.h"
+#include "runtime/fiber.h"
+#include "serve/spsc.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace acrobat::serve {
+namespace {
+
+// Uniform in (0, 1] — safe for -log(u).
+double uniform01(Rng& rng) {
+  const std::uint64_t bits = rng.next() >> 11;  // 53 random bits
+  return 1.0 - static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+std::int64_t exp_gap_ns(Rng& rng, double rate_rps) {
+  return static_cast<std::int64_t>(-std::log(uniform01(rng)) / rate_rps * 1e9);
+}
+
+// Waiting sides (dispatcher between arrivals, shard with nothing runnable)
+// yield the core on every poll: unlike the engine's spin_ns — which charges
+// simulated device time and must burn the CPU — these waits are for *other
+// threads'* progress, and on a small machine a pure spin would starve them
+// for a whole preemption quantum.
+void relax() { sched_yield(); }
+
+// ------------------------------------------------------------------ policies
+
+class GreedyPolicy final : public BatchPolicy {
+ public:
+  AdmitDecision decide(const PolicyCtx&) override { return AdmitDecision{}; }
+  const char* name() const override { return policy_name(PolicyKind::kGreedy); }
+};
+
+class MaxBatchPolicy final : public BatchPolicy {
+ public:
+  explicit MaxBatchPolicy(std::size_t max_batch) : max_batch_(max_batch) {}
+  AdmitDecision decide(const PolicyCtx& ctx) override {
+    AdmitDecision d;
+    d.max_admit = ctx.live >= max_batch_ ? 0 : max_batch_ - ctx.live;
+    return d;
+  }
+  const char* name() const override { return policy_name(PolicyKind::kMaxBatch); }
+
+ private:
+  std::size_t max_batch_;
+};
+
+class DeadlinePolicy final : public BatchPolicy {
+ public:
+  explicit DeadlinePolicy(const PolicyConfig& cfg) : cfg_(cfg) {}
+  AdmitDecision decide(const PolicyCtx& ctx) override {
+    AdmitDecision d;  // admission itself is greedy
+    // Batch-forming pause: with a small in-flight pool, hold the trigger for
+    // future arrivals — but never past the oldest request's SLO deadline.
+    if (ctx.live > 0 && ctx.live + ctx.queued < cfg_.min_batch && ctx.inbox_open)
+      d.hold_until_ns = std::min(ctx.oldest_live_arrival_ns + cfg_.slo_ns,
+                                 ctx.now_ns + cfg_.max_hold_ns);
+    return d;
+  }
+  const char* name() const override { return policy_name(PolicyKind::kDeadline); }
+
+ private:
+  PolicyConfig cfg_;
+};
+
+// -------------------------------------------------------------- shard worker
+
+struct Shard {
+  explicit Shard(std::size_t inbox_capacity) : inbox(inbox_capacity) {}
+
+  int index = 0;
+  const harness::Prepared* prep = nullptr;
+  const models::Dataset* ds = nullptr;
+  const std::vector<Request>* trace = nullptr;
+  const ServeOptions* opts = nullptr;
+  std::vector<RequestRecord>* records = nullptr;
+  std::int64_t epoch_ns = 0;
+
+  SpscQueue<int> inbox;           // dispatcher → this shard (request ids)
+  std::atomic<int> outstanding{0};  // dispatched - completed (least-loaded reads)
+  ShardReport report;
+
+  void run_worker();
+};
+
+void Shard::run_worker() {
+  const harness::Prepared& p = *prep;
+  // Exclusive ownership: this engine, its arena, and the fiber pool live and
+  // die on this thread. No locks anywhere downstream of the inbox.
+  const EngineConfig ec = harness::engine_config_for(
+      p.cfg, opts->launch_overhead_ns, opts->time_activities);
+  Engine eng(p.compiled.module.registry, ec);
+
+  std::vector<TRef> wrefs, drefs;
+  wrefs.reserve(p.weights.tensors.size());
+  for (const Tensor& t : p.weights.tensors) wrefs.push_back(eng.add_concrete(t.view()));
+  drefs.reserve(ds->tensors.size());
+  for (const Tensor& t : ds->tensors) drefs.push_back(eng.add_concrete(t.view()));
+  aot::AotExecutor exec(p.compiled.program, eng, wrefs);
+
+  FiberScheduler fs;
+  eng.set_fiber_scheduler(&fs);
+  const std::unique_ptr<BatchPolicy> policy = make_policy(opts->policy);
+
+  std::deque<int> queue;      // arrived at this shard, not yet admitted
+  std::deque<int> in_flight;  // admitted, not yet completed (arrival order)
+
+  const auto now = [&] { return now_ns() - epoch_ns; };
+  const auto drain_inbox = [&] {
+    int id;
+    while (inbox.pop(id)) queue.push_back(id);
+  };
+  const auto prune_in_flight = [&] {
+    while (!in_flight.empty() &&
+           (*records)[static_cast<std::size_t>(in_flight.front())].completion_ns >= 0)
+      in_flight.pop_front();
+  };
+  const auto make_ctx = [&] {
+    PolicyCtx c;
+    c.now_ns = now();
+    c.queued = queue.size();
+    c.live = in_flight.size();
+    if (!queue.empty())
+      c.oldest_queued_arrival_ns = (*trace)[static_cast<std::size_t>(queue.front())].arrival_ns;
+    if (!in_flight.empty())
+      c.oldest_live_arrival_ns =
+          (*trace)[static_cast<std::size_t>(in_flight.front())].arrival_ns;
+    c.inbox_open = !inbox.closed() || !inbox.empty_hint();
+    return c;
+  };
+
+  const auto admit = [&](std::size_t max_admit) {
+    while (max_admit > 0 && !queue.empty()) {
+      --max_admit;
+      const int id = queue.front();
+      queue.pop_front();
+      RequestRecord& rec = (*records)[static_cast<std::size_t>(id)];
+      rec.shard = index;
+      rec.admit_ns = now();
+      in_flight.push_back(id);
+      fs.spawn([&, id] {
+        RequestRecord& r = (*records)[static_cast<std::size_t>(id)];
+        InstCtx ctx;
+        ctx.instance = id;
+        const Value in = models::remap_trefs(
+            ds->inputs[(*trace)[static_cast<std::size_t>(id)].input_index], drefs);
+        const Value out = exec.run(std::span<const Value>(&in, 1), ctx);
+        std::vector<TRef> outs;
+        harness::collect_output_trefs(out, outs);
+        std::vector<float> flat;
+        for (const TRef ref : outs) {
+          // Suspends this request until a trigger materializes the result;
+          // completion is stamped when the final batch lands.
+          const Tensor t = eng.force(ref);
+          if (opts->collect_outputs) flat.insert(flat.end(), t.data, t.data + t.numel());
+        }
+        r.completion_ns = now();
+        if (opts->collect_outputs) r.output = std::move(flat);
+        ++report.requests;
+        outstanding.fetch_sub(1, std::memory_order_relaxed);
+      });
+    }
+    report.max_live = std::max(report.max_live, in_flight.size());
+  };
+
+  // Trigger-boundary admission (DESIGN.md §7): whatever arrived while the
+  // live pool was recording is admitted and records its ops *before* the
+  // pending set is scheduled, so one trigger batches old and new requests.
+  eng.set_admission_hook([&] {
+    drain_inbox();
+    admit(policy->decide(make_ctx()).max_admit);
+    fs.step_ready();  // new fibers record until they suspend
+  });
+
+  for (;;) {
+    drain_inbox();
+    fs.reap_done();
+    prune_in_flight();
+    if (in_flight.empty() && queue.empty()) {
+      if (inbox.closed() && inbox.empty_hint()) break;
+      relax();  // idle: poll for the next arrival (open-loop clock)
+      continue;
+    }
+    const AdmitDecision d = policy->decide(make_ctx());
+    admit(d.max_admit);
+    if (fs.step_ready() > 0) continue;
+    if (fs.any_blocked()) {
+      if (d.hold_until_ns > now() && (!inbox.closed() || !inbox.empty_hint())) {
+        // Batch-forming pause: poll for arrivals, then re-decide.
+        while (now() < d.hold_until_ns && inbox.empty_hint() && !inbox.closed()) relax();
+        continue;
+      }
+      eng.trigger_execution();  // admission hook folds in late arrivals
+      fs.wake_blocked();
+    }
+  }
+
+  eng.set_admission_hook(nullptr);
+  eng.set_fiber_scheduler(nullptr);
+  report.triggers = fs.idle_triggers();
+  report.stacks_allocated = fs.stacks_allocated();
+  report.stats = eng.stats();
+}
+
+}  // namespace
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kGreedy: return "greedy";
+    case PolicyKind::kMaxBatch: return "max-batch";
+    case PolicyKind::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+std::unique_ptr<BatchPolicy> make_policy(const PolicyConfig& cfg) {
+  switch (cfg.kind) {
+    case PolicyKind::kGreedy: return std::make_unique<GreedyPolicy>();
+    case PolicyKind::kMaxBatch: return std::make_unique<MaxBatchPolicy>(cfg.max_batch);
+    case PolicyKind::kDeadline: return std::make_unique<DeadlinePolicy>(cfg);
+  }
+  return std::make_unique<GreedyPolicy>();
+}
+
+std::vector<Request> generate_load(const LoadSpec& spec, std::size_t num_inputs) {
+  assert(num_inputs > 0);
+  std::vector<Request> trace;
+  trace.reserve(static_cast<std::size_t>(std::max(spec.num_requests, 0)));
+  Rng rng(spec.seed ^ 0x10adull);
+  const double rate = std::max(spec.rate_rps, 1e-9);
+  std::int64_t t_ns = 0;
+  int id = 0;
+  while (id < spec.num_requests) {
+    if (spec.kind == ArrivalKind::kPoisson) {
+      t_ns += exp_gap_ns(rng, rate);
+      trace.push_back(Request{id, static_cast<std::size_t>(rng.uniform_int(
+                                       static_cast<int>(num_inputs))),
+                              t_ns});
+      ++id;
+    } else {
+      // Bursts arrive as a Poisson process at rate/burst_size, so the mean
+      // request rate still matches rate_rps.
+      const int burst = std::max(spec.burst_size, 1);
+      t_ns += exp_gap_ns(rng, rate / burst);
+      for (int b = 0; b < burst && id < spec.num_requests; ++b, ++id)
+        trace.push_back(Request{id, static_cast<std::size_t>(rng.uniform_int(
+                                         static_cast<int>(num_inputs))),
+                                t_ns});
+    }
+  }
+  return trace;
+}
+
+ServeResult serve(const harness::Prepared& p, const models::Dataset& ds,
+                  const std::vector<Request>& trace, const ServeOptions& opts) {
+  const int nshards = std::max(1, opts.shards);
+  ServeResult res;
+  res.records.resize(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    assert(trace[i].id == static_cast<int>(i) && "trace ids must be 0..N-1");
+    assert((i == 0 || trace[i].arrival_ns >= trace[i - 1].arrival_ns) &&
+           "trace must be sorted by arrival");
+    assert(trace[i].input_index < ds.inputs.size());
+    res.records[i].id = trace[i].id;
+    res.records[i].arrival_ns = trace[i].arrival_ns;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(static_cast<std::size_t>(nshards));
+  for (int s = 0; s < nshards; ++s) {
+    auto sh = std::make_unique<Shard>(trace.size());
+    sh->index = s;
+    sh->prep = &p;
+    sh->ds = &ds;
+    sh->trace = &trace;
+    sh->opts = &opts;
+    sh->records = &res.records;
+    shards.push_back(std::move(sh));
+  }
+
+  const std::int64_t epoch = now_ns();
+  for (auto& sh : shards) sh->epoch_ns = epoch;
+  std::vector<std::thread> workers;
+  workers.reserve(shards.size());
+  for (auto& sh : shards) workers.emplace_back([&shard = *sh] { shard.run_worker(); });
+
+  // Open-loop dispatcher: replay the trace in real time, yielding while it
+  // waits so shard workers get the core between arrivals.
+  for (const Request& req : trace) {
+    while (now_ns() - epoch < req.arrival_ns) relax();
+    int target = 0;
+    if (opts.dispatch == DispatchKind::kRoundRobin) {
+      target = req.id % nshards;
+    } else {
+      int best_load = INT_MAX;
+      for (int s = 0; s < nshards; ++s) {
+        const int load = shards[static_cast<std::size_t>(s)]->outstanding.load(
+            std::memory_order_relaxed);
+        if (load < best_load) {
+          best_load = load;
+          target = s;
+        }
+      }
+    }
+    Shard& sh = *shards[static_cast<std::size_t>(target)];
+    sh.outstanding.fetch_add(1, std::memory_order_relaxed);
+    const bool pushed = sh.inbox.push(req.id);
+    assert(pushed && "inbox sized for the whole trace");
+    (void)pushed;
+  }
+  for (auto& sh : shards) sh->inbox.close();
+  for (std::thread& w : workers) w.join();
+
+  std::vector<double> lats;
+  lats.reserve(res.records.size());
+  std::int64_t last_completion = 0;
+  const std::int64_t first_arrival = trace.empty() ? 0 : trace.front().arrival_ns;
+  for (const RequestRecord& r : res.records) {
+    assert(r.completion_ns >= 0 && "every request must complete");
+    lats.push_back(r.latency_ms());
+    last_completion = std::max(last_completion, r.completion_ns);
+  }
+  res.latency_ms = Percentiles::of(std::move(lats));
+  res.makespan_ms = static_cast<double>(last_completion - first_arrival) * 1e-6;
+  if (res.makespan_ms > 0)
+    res.throughput_rps =
+        static_cast<double>(trace.size()) / (res.makespan_ms * 1e-3);
+  for (auto& sh : shards) res.shards.push_back(std::move(sh->report));
+  return res;
+}
+
+}  // namespace acrobat::serve

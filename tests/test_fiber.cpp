@@ -92,11 +92,59 @@ void test_instance_at_a_time_fallback() {
   CHECK_EQ(eng.stats().kernel_launches, 8);
 }
 
+void test_dynamic_admission() {
+  // A fiber admitted while earlier fibers are suspended runs in the same
+  // scheduling round and wakes with them — the serving-layer primitive.
+  FiberScheduler fs;
+  std::string trace;
+  fs.spawn([&] {
+    trace += 'a';
+    fs.block_current();
+    trace += 'A';
+  });
+  fs.spawn([&] {
+    trace += 'b';
+    fs.block_current();
+    trace += 'B';
+  });
+  fs.step_ready();
+  CHECK(fs.any_blocked());
+  CHECK_EQ(fs.live(), 2);
+  fs.spawn([&] {
+    trace += 'c';
+    fs.block_current();
+    trace += 'C';
+  });
+  fs.step_ready();  // only the newly admitted fiber is ready
+  CHECK(trace == "abc");
+  fs.wake_blocked();
+  fs.step_ready();
+  CHECK(trace == "abcABC");
+  CHECK_EQ(fs.idle_triggers(), 1);
+  CHECK_EQ(fs.reap_done(), 3);
+  CHECK_EQ(fs.live(), 0);
+}
+
+void test_stack_pool_reuse() {
+  // Fibers are created per request under serving load; stacks must come
+  // from the free list, not a fresh allocation per fiber.
+  FiberScheduler fs;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<FiberTask> tasks;
+    for (int i = 0; i < 3; ++i)
+      tasks.push_back([&] { fs.block_current(); });
+    fs.run(std::move(tasks), [] {});
+  }
+  CHECK_EQ(fs.stacks_allocated(), 3);  // peak concurrency, not 4x3
+}
+
 }  // namespace
 
 int main() {
   test_interleaving_order();
   test_engine_sync_batches_across_instances();
   test_instance_at_a_time_fallback();
+  test_dynamic_admission();
+  test_stack_pool_reuse();
   return acrobat::test::finish("test_fiber");
 }

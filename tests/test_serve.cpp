@@ -1,0 +1,259 @@
+// Serving-layer acceptance (ISSUE 2 / DESIGN.md §7):
+//  (a) continuous batching across requests is bitwise identical to running
+//      each request solo — the batching-never-changes-results invariant
+//      extends across requests;
+//  (b) with arrivals spread over time, continuous batching launches
+//      strictly fewer kernels than one-request-at-a-time execution;
+//  (c) a 2-shard run partitions requests across independent engines with
+//      no cross-shard state sharing.
+// Plus units: percentile math, seeded load generation, the SPSC inbox, and
+// the policy family.
+#include "serve/server.h"
+#include "serve/spsc.h"
+#include "test_util.h"
+
+#include <cstdio>
+
+using namespace acrobat;
+
+namespace {
+
+models::Dataset solo_dataset(const models::Dataset& ds, std::size_t idx) {
+  models::Dataset one;
+  one.pool = ds.pool;
+  one.tensors = ds.tensors;
+  one.inputs.push_back(ds.inputs[idx]);
+  return one;
+}
+
+std::vector<float> solo_outputs(const harness::Prepared& p, const models::Dataset& ds,
+                                std::size_t idx) {
+  harness::RunOptions o;
+  o.collect_outputs = true;
+  const harness::RunResult r = harness::run_acrobat(p, solo_dataset(ds, idx), o);
+  return r.outputs.at(0);
+}
+
+// Fixed-gap arrivals: "spread over time", deterministic.
+std::vector<serve::Request> spread_trace(int n, std::size_t n_inputs,
+                                         std::int64_t gap_ns) {
+  std::vector<serve::Request> trace;
+  for (int i = 0; i < n; ++i)
+    trace.push_back(serve::Request{i, static_cast<std::size_t>(i) % n_inputs,
+                                   static_cast<std::int64_t>(i) * gap_ns});
+  return trace;
+}
+
+void test_percentiles() {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);
+  const serve::Percentiles p = serve::Percentiles::of(xs);
+  CHECK_EQ(static_cast<int>(p.p50), 50);
+  CHECK_EQ(static_cast<int>(p.p95), 95);
+  CHECK_EQ(static_cast<int>(p.p99), 99);
+  CHECK_NEAR(p.mean, 50.5, 1e-9);
+  CHECK_EQ(static_cast<int>(p.max), 100);
+  CHECK_EQ(p.count, 100);
+  CHECK_EQ(serve::Percentiles::of({}).count, 0);
+}
+
+void test_load_generator() {
+  serve::LoadSpec spec;
+  spec.rate_rps = 10000;
+  spec.num_requests = 200;
+  spec.seed = 7;
+  const auto a = serve::generate_load(spec, 8);
+  const auto b = serve::generate_load(spec, 8);
+  CHECK_EQ(a.size(), 200);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    CHECK_EQ(a[i].id, static_cast<int>(i));
+    CHECK(a[i].input_index < 8);
+    CHECK(a[i].arrival_ns == b[i].arrival_ns);  // deterministic under seed
+    CHECK(a[i].input_index == b[i].input_index);
+    if (i > 0) CHECK(a[i].arrival_ns >= a[i - 1].arrival_ns);
+  }
+  // Mean inter-arrival tracks 1/rate (100us) within Poisson noise.
+  const double mean_gap =
+      static_cast<double>(a.back().arrival_ns) / static_cast<double>(a.size() - 1);
+  CHECK(mean_gap > 50e3 && mean_gap < 200e3);
+
+  serve::LoadSpec burst = spec;
+  burst.kind = serve::ArrivalKind::kBurst;
+  burst.burst_size = 8;
+  const auto c = serve::generate_load(burst, 8);
+  CHECK_EQ(c.size(), 200);
+  // Full bursts share one arrival instant.
+  for (std::size_t i = 0; i + 8 <= c.size(); i += 8)
+    for (std::size_t j = 1; j < 8; ++j)
+      CHECK(c[i + j].arrival_ns == c[i].arrival_ns);
+}
+
+void test_spsc_queue() {
+  serve::SpscQueue<int> q(3);  // rounds up to 4
+  CHECK(q.empty_hint());
+  for (int i = 0; i < 4; ++i) CHECK(q.push(i));
+  int v = -1;
+  CHECK(q.pop(v));
+  CHECK_EQ(v, 0);
+  CHECK(q.push(4));
+  for (int want = 1; want <= 4; ++want) {
+    CHECK(q.pop(v));
+    CHECK_EQ(v, want);
+  }
+  CHECK(!q.pop(v));
+  CHECK(!q.closed());
+  q.close();
+  CHECK(q.closed());
+}
+
+// (a) Serving N requests through continuous batching produces bitwise-
+// identical outputs to running each request alone.
+void test_serve_matches_solo() {
+  for (const char* name : {"TreeLSTM", "Berxit"}) {  // recursive + TDCF
+    const models::ModelSpec& spec = models::model_by_name(name);
+    const models::Dataset ds = spec.build_dataset(false, 6, 11);
+    harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+
+    const auto trace = spread_trace(10, ds.inputs.size(), 20'000);
+    serve::ServeOptions so;
+    so.collect_outputs = true;
+    const serve::ServeResult res = serve::serve(p, ds, trace, so);
+
+    CHECK_EQ(res.records.size(), 10);
+    for (const serve::RequestRecord& rec : res.records) {
+      CHECK(rec.completion_ns >= rec.arrival_ns);
+      CHECK(rec.shard == 0);
+      const std::vector<float> solo =
+          solo_outputs(p, ds, trace[static_cast<std::size_t>(rec.id)].input_index);
+      CHECK_EQ(rec.output.size(), solo.size());
+      for (std::size_t i = 0; i < solo.size(); ++i)
+        CHECK(rec.output[i] == solo[i]);  // bitwise, not approximate
+    }
+    CHECK_EQ(res.latency_ms.count, 10);
+  }
+}
+
+// (b) Requests arriving over time still batch: strictly fewer launches
+// than executing each request one at a time.
+void test_continuous_batching_reduces_launches() {
+  const models::ModelSpec& spec = models::model_by_name("TreeLSTM");
+  const models::Dataset ds = spec.build_dataset(false, 6, 13);
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+
+  const int n = 12;
+  long long solo_total = 0;
+  for (int i = 0; i < n; ++i) {
+    harness::RunOptions o;
+    solo_total += harness::run_acrobat(p, solo_dataset(ds, static_cast<std::size_t>(i) %
+                                                               ds.inputs.size()),
+                                       o)
+                      .stats.kernel_launches;
+  }
+
+  // Service time (20us simulated launch overhead per batch) dwarfs the
+  // 20us arrival gaps, so the live pool builds up and requests co-batch.
+  const auto trace = spread_trace(n, ds.inputs.size(), 20'000);
+  serve::ServeOptions so;
+  so.launch_overhead_ns = 20'000;
+  const serve::ServeResult res = serve::serve(p, ds, trace, so);
+
+  const long long cont = res.total_launches();
+  if (cont >= solo_total)
+    std::printf("continuous=%lld solo=%lld\n", cont, solo_total);
+  CHECK(cont < solo_total);
+  CHECK(res.shards.at(0).triggers > 0);
+  // The fiber pool recycles stacks: allocations track peak concurrency,
+  // not the request count.
+  CHECK(res.shards.at(0).stacks_allocated <= n);
+}
+
+// (c) Two shards partition the requests; each shard owns its own engine
+// (independent launch counters), nothing is shared across shards.
+void test_two_shards_partition() {
+  const models::ModelSpec& spec = models::model_by_name("TreeLSTM");
+  const models::Dataset ds = spec.build_dataset(false, 6, 17);
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+
+  const int n = 12;
+  const auto trace = spread_trace(n, ds.inputs.size(), 10'000);
+  serve::ServeOptions so;
+  so.shards = 2;
+  so.dispatch = serve::DispatchKind::kRoundRobin;
+  so.collect_outputs = true;
+  const serve::ServeResult res = serve::serve(p, ds, trace, so);
+
+  CHECK_EQ(res.shards.size(), 2);
+  int per_shard[2] = {0, 0};
+  for (const serve::RequestRecord& rec : res.records) {
+    CHECK(rec.shard == rec.id % 2);  // round-robin partition
+    ++per_shard[rec.shard];
+    // Partitioning never changes results either.
+    const std::vector<float> solo =
+        solo_outputs(p, ds, trace[static_cast<std::size_t>(rec.id)].input_index);
+    CHECK_EQ(rec.output.size(), solo.size());
+    for (std::size_t i = 0; i < solo.size(); ++i) CHECK(rec.output[i] == solo[i]);
+  }
+  CHECK_EQ(per_shard[0], n / 2);
+  CHECK_EQ(per_shard[1], n / 2);
+  CHECK_EQ(res.shards[0].requests, n / 2);
+  CHECK_EQ(res.shards[1].requests, n / 2);
+  // Independent engines: each shard did its own (nonzero) launches.
+  CHECK(res.shards[0].stats.kernel_launches > 0);
+  CHECK(res.shards[1].stats.kernel_launches > 0);
+}
+
+void test_max_batch_policy_caps_pool() {
+  const models::ModelSpec& spec = models::model_by_name("BiRNN");
+  const models::Dataset ds = spec.build_dataset(false, 6, 19);
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+
+  // Everything arrives at once; the policy must still cap the live pool.
+  const auto trace = spread_trace(10, ds.inputs.size(), 0);
+  serve::ServeOptions so;
+  so.policy.kind = serve::PolicyKind::kMaxBatch;
+  so.policy.max_batch = 2;
+  const serve::ServeResult res = serve::serve(p, ds, trace, so);
+  CHECK_EQ(res.shards.at(0).requests, 10);
+  CHECK(res.shards.at(0).max_live <= 2);
+  for (const serve::RequestRecord& rec : res.records) CHECK(rec.completion_ns >= 0);
+}
+
+void test_deadline_policy_and_least_loaded() {
+  const models::ModelSpec& spec = models::model_by_name("DRNN");
+  const models::Dataset ds = spec.build_dataset(false, 6, 23);
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+
+  const auto trace = spread_trace(10, ds.inputs.size(), 15'000);
+  serve::ServeOptions so;
+  so.shards = 2;
+  so.dispatch = serve::DispatchKind::kLeastLoaded;
+  so.policy.kind = serve::PolicyKind::kDeadline;
+  so.policy.min_batch = 3;
+  so.policy.slo_ns = 5'000'000;
+  so.policy.max_hold_ns = 100'000;
+  const serve::ServeResult res = serve::serve(p, ds, trace, so);
+
+  int total = 0;
+  for (const serve::ShardReport& s : res.shards) total += s.requests;
+  CHECK_EQ(total, 10);
+  for (const serve::RequestRecord& rec : res.records) {
+    CHECK(rec.shard == 0 || rec.shard == 1);
+    CHECK(rec.completion_ns >= rec.admit_ns);
+    CHECK(rec.admit_ns >= rec.arrival_ns);
+  }
+  CHECK(res.throughput_rps > 0);
+}
+
+}  // namespace
+
+int main() {
+  test_percentiles();
+  test_load_generator();
+  test_spsc_queue();
+  test_serve_matches_solo();
+  test_continuous_batching_reduces_launches();
+  test_two_shards_partition();
+  test_max_batch_policy_caps_pool();
+  test_deadline_policy_and_least_loaded();
+  return acrobat::test::finish("test_serve");
+}

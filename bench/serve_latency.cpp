@@ -20,10 +20,15 @@ namespace {
 
 void print_point(double rate, const char* policy, int shards,
                  const serve::ServeResult& res) {
-  std::printf("%8.0f %-10s %6d | %8.3f %8.3f %8.3f %8.3f | %8.0f %9lld\n", rate,
-              policy, shards, res.latency_ms.p50, res.latency_ms.p95,
+  // arenaKB/nodes: worst shard's arena high-water mark and node-table size —
+  // with epoch recycling both plateau at peak concurrency, so the frontier
+  // shows memory alongside the tail (DESIGN.md §7 "Recycling").
+  std::printf("%8.0f %-10s %6d | %8.3f %8.3f %8.3f %8.3f | %8.0f %9lld | %8.0f %7zu\n",
+              rate, policy, shards, res.latency_ms.p50, res.latency_ms.p95,
               res.latency_ms.p99, res.latency_ms.mean, res.throughput_rps,
-              res.total_launches());
+              res.total_launches(),
+              static_cast<double>(res.peak_arena_bytes()) / 1024.0,
+              res.peak_node_table());
 }
 
 }  // namespace
@@ -51,8 +56,9 @@ int main() {
          "DESIGN.md §7 (serving model)");
   std::printf("model=%s/%s  solo=%.3fms (~%.0f rps/shard solo)  requests=%d\n",
               spec.name.c_str(), size_name(large), solo_ms, base_rps, n_requests);
-  std::printf("%8s %-10s %6s | %8s %8s %8s %8s | %8s %9s\n", "rate", "policy",
-              "shards", "p50ms", "p95ms", "p99ms", "mean", "thpt", "launches");
+  std::printf("%8s %-10s %6s | %8s %8s %8s %8s | %8s %9s | %8s %7s\n", "rate",
+              "policy", "shards", "p50ms", "p95ms", "p99ms", "mean", "thpt",
+              "launches", "arenaKB", "nodes");
 
   std::vector<serve::PolicyConfig> policies(3);
   policies[0].kind = serve::PolicyKind::kGreedy;

@@ -66,6 +66,13 @@ struct EngineConfig {
   int stage_all_amp = 0;             // Cortex MV-RNN: forced input copies, amplified
   std::size_t memory_cap_bytes = 0;  // 0 = uncapped
   bool time_activities = false;
+  // Steady-state serving (DESIGN.md §7 "Recycling"): per-request node slots
+  // and arena pages are reclaimed when the serve loop retires a completed
+  // request, so node table and arena footprint plateau at peak concurrency
+  // instead of growing with request count. Requires lazy mode; mutually
+  // exclusive with exec-log autodiff replay (the log is not kept — retired
+  // node ids would dangle).
+  bool recycle = false;
 };
 
 // Identifies the recording program instance (used for diagnostics and for
@@ -122,10 +129,41 @@ class Engine {
     int kernel_id = -1;
     std::vector<std::uint32_t> nodes;
   };
+  // Empty when recycling is on (retired node ids would dangle); callers
+  // that replay it must check `recycling()` — backward() refuses loudly.
   const std::vector<ExecBatch>& exec_log() const { return exec_log_; }
+  bool recycling() const { return cfg_.recycle; }
   int kernel_of(TRef r) const;  // -1 for concrete nodes
   const std::vector<TRef>& inputs_of(TRef r) const;
+  // Node-table slots ever allocated; with recycling this plateaus at peak
+  // concurrency while `live_nodes` dips as requests retire.
   std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t live_nodes() const { return nodes_.size() - free_slots_.size(); }
+
+  // --- epoch recycling (EngineConfig::recycle; serve/server.h drives this)
+
+  // Registers a request at the current epoch. Every node it records is
+  // tracked as its span; arena pages it allocates into cannot be reclaimed
+  // until it retires.
+  void begin_request(int instance);
+
+  // Retires a completed request: its node slots go onto the free list with
+  // bumped generations (stale TRefs then fault in debug), and arena pages
+  // older than every still-live request's admission epoch return to the
+  // page pool. Call only after the request's outputs have been consumed.
+  void retire_request(int instance);
+
+  // Memory-watermark and live-node gauges (serve/stats.h per-shard report).
+  struct MemoryStats {
+    std::size_t node_table_size = 0;   // slots ever allocated
+    std::size_t live_nodes = 0;        // slots not on the free list
+    std::size_t live_nodes_peak = 0;
+    long long nodes_recycled = 0;
+    std::size_t arena_active_bytes = 0;
+    std::size_t arena_high_water_bytes = 0;  // peak bytes in live arena pages
+    long long arena_pages_recycled = 0;
+  };
+  MemoryStats memory() const;
 
  private:
   struct Node {
@@ -136,21 +174,40 @@ class Engine {
     int depth = 0;
     int phase = 0;
     int instance = 0;
+    std::uint32_t gen = 0;   // bumped when the slot is retired
+    bool persist = false;    // persistent region: weights, cached constants
   };
 
-  Node& node(TRef r) { return nodes_[r.id]; }
-  const Node& node(TRef r) const { return nodes_[r.id]; }
+  // Generation-checked accessors: a stale ref (slot retired or reissued
+  // since hand-out) aborts loudly in debug instead of aliasing whatever
+  // request owns the slot now. Internal scheduler loops index `nodes_` by
+  // raw pending ids, which are live by construction.
+  void check_ref(TRef r) const;
+  Node& node(TRef r) {
+    check_ref(r);
+    return nodes_[r.id];
+  }
+  const Node& node(TRef r) const {
+    check_ref(r);
+    return nodes_[r.id];
+  }
   TRef record_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx& ctx, int phase);
+  TRef alloc_node(Node&& n, bool reusable_slot);
   void execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids, bool merge_launch);
   void schedule_depth(std::vector<std::uint32_t>& pending);
   void schedule_agenda(std::vector<std::uint32_t>& pending);
   void recover_depths(const std::vector<std::uint32_t>& pending);
+  void charge_bytes(std::size_t bytes);  // memory-cap accounting (OomError)
   void charge_launch();
 
   const KernelRegistry& registry_;
   EngineConfig cfg_;
   EngineStats stats_;
   TensorPool arena_;
+  // Persistent region under recycling: outputs of cached constant nodes
+  // live here, outside the epoch protocol, because the const cache shares
+  // them across requests of any epoch.
+  TensorPool persist_arena_{1u << 12};  // small pages: a handful of constants
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> pending_;
   std::vector<ExecBatch> exec_log_;
@@ -161,6 +218,13 @@ class Engine {
   std::size_t live_bytes_ = 0;
   bool in_trigger_ = false;
   bool in_admission_ = false;
+  // --- recycling state (empty when cfg_.recycle is off)
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<int, std::vector<std::uint32_t>> request_nodes_;  // instance → span
+  std::unordered_map<int, std::uint64_t> live_requests_;  // instance → admission epoch
+  std::uint64_t epoch_ = 0;  // advances at the end of every trigger
+  std::size_t live_nodes_peak_ = 0;
+  long long nodes_recycled_ = 0;
 };
 
 }  // namespace acrobat

@@ -11,8 +11,16 @@ namespace acrobat {
 // Handle to an engine tensor node (a future until the engine executes it).
 // In a Dataset, `id` indexes the dataset's tensor list instead until
 // models::remap_trefs swaps in real engine refs.
+//
+// `gen` is the slot's generation at hand-out. Without recycling every slot
+// stays at generation 0 and the field is inert; with epoch recycling
+// (EngineConfig::recycle) a retired request's slots are reissued with a
+// bumped generation, so a stale ref no longer matches its slot and the
+// engine's debug accessor faults loudly instead of silently reading the
+// next request's tensor.
 struct TRef {
   std::uint32_t id = 0xffffffffu;
+  std::uint32_t gen = 0;
   bool ok() const { return id != 0xffffffffu; }
 };
 

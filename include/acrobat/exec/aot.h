@@ -18,17 +18,24 @@ class AotExecutor {
   AotExecutor(const ir::Program& program, Engine& engine, std::vector<TRef> weights)
       : prog_(program), engine_(engine), weights_(std::move(weights)) {}
 
-  // Executes program.main over one instance's inputs.
+  // Executes program.main over one instance's inputs. Re-entrant across
+  // fibers: one executor is shared by every in-flight request, and a fiber
+  // suspends mid-exec (kSyncSign), so instance/phase state lives on the
+  // caller's stack — under recycling the instance id decides which request
+  // span a recorded node retires with, so cross-fiber clobbering would be
+  // a use-after-free, not a mislabel.
   Value run(std::span<const Value> args, InstCtx ctx);
 
  private:
-  Value exec(const ir::Func& f, const Value* args, std::size_t n_args);
+  struct RunState {
+    InstCtx ctx;
+    int phase = 0;  // shared down the call chain of one run, as before
+  };
+  Value exec(const ir::Func& f, const Value* args, std::size_t n_args, RunState& st);
 
   const ir::Program& prog_;
   Engine& engine_;
   std::vector<TRef> weights_;
-  InstCtx ctx_;
-  int phase_ = 0;
 };
 
 }  // namespace acrobat::aot

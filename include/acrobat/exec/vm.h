@@ -21,16 +21,21 @@ class Vm {
   Vm(const ir::Program& program, Engine& engine, std::vector<TRef> weights)
       : prog_(program), engine_(engine), weights_(std::move(weights)) {}
 
+  // Re-entrant across fibers, same as AotExecutor: instance/phase state is
+  // stack-held per run, so interleaved instances can't clobber each other's
+  // identity (under recycling that would retire the wrong request's nodes).
   Value run(std::span<const Value> args, InstCtx ctx);
 
  private:
-  Value exec(const ir::Func& f, const std::vector<Value>& args);
+  struct RunState {
+    InstCtx ctx;
+    int phase = 0;  // shared down the call chain of one run
+  };
+  Value exec(const ir::Func& f, const std::vector<Value>& args, RunState& st);
 
   const ir::Program& prog_;
   Engine& engine_;
   std::vector<TRef> weights_;
-  InstCtx ctx_;
-  int phase_ = 0;
 };
 
 }  // namespace acrobat::exec

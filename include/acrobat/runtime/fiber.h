@@ -47,8 +47,16 @@ class FiberScheduler {
 
   // Admits a new fiber in the ready state. Legal while other fibers are
   // suspended: a serve-loop trigger boundary admits newly arrived requests
-  // so their ops batch with the suspended instances' pending ops.
-  void spawn(FiberTask task);
+  // so their ops batch with the suspended instances' pending ops. `tag`
+  // identifies the fiber to the reap hook (serve: the request id, which
+  // keys the engine's per-request node span); -1 = untagged.
+  void spawn(FiberTask task, int tag = -1);
+
+  // Called once per tagged fiber as reap_done recycles it — after the task
+  // has finished and its stack is off the hot path, i.e. the point where a
+  // serve shard retires the request's engine state (node span + arena
+  // epoch). Runs on the scheduler side, never inside a fiber.
+  void set_reap_hook(std::function<void(int)> hook) { reap_hook_ = std::move(hook); }
 
   // Runs every ready fiber until it blocks or completes; returns how many
   // fibers were stepped.
@@ -88,6 +96,7 @@ class FiberScheduler {
     ucontext_t ctx;
     std::unique_ptr<char[]> stack;
     FiberTask task;
+    int tag = -1;
     enum State { kReady, kBlocked, kDone } state = kReady;
   };
 
@@ -98,6 +107,7 @@ class FiberScheduler {
   ucontext_t main_ctx_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<std::unique_ptr<Fiber>> pool_;  // recycled fibers, stacks retained
+  std::function<void(int)> reap_hook_;
   int current_ = -1;
   long long idle_triggers_ = 0;
   long long stacks_allocated_ = 0;

@@ -33,6 +33,12 @@ struct ServeOptions {
   std::int64_t launch_overhead_ns = 0;
   bool collect_outputs = false;  // flatten each request's result tensors
   bool time_activities = false;
+  // Epoch recycling (DESIGN.md §7 "Recycling"): reaped requests return
+  // their node slots and arena pages to per-shard pools, so shard memory
+  // plateaus at peak concurrency instead of growing with the trace. On by
+  // default — steady-state serving is the point of this layer; turn off
+  // only to measure the unbounded-growth baseline (test_serve_soak.cpp).
+  bool recycle = true;
 };
 
 // Per-request ledger: enqueue → admission → completion, all relative to
@@ -57,6 +63,11 @@ struct ShardReport {
   std::size_t max_live = 0;      // peak concurrently admitted requests
   long long stacks_allocated = 0;
   ActivityStats stats;           // per-activity engine buckets + launches
+  // Memory watermarks (DESIGN.md §7 "Recycling"): with recycling on, the
+  // node table and arena high-water mark plateau at peak concurrency over
+  // any trace length; without it they grow with the request count
+  // (test_serve_soak.cpp asserts both shapes).
+  Engine::MemoryStats mem;
 };
 
 struct ServeResult {
@@ -70,6 +81,18 @@ struct ServeResult {
     long long n = 0;
     for (const ShardReport& s : shards) n += s.stats.kernel_launches;
     return n;
+  }
+  // Worst shard's arena watermark / node table — the memory column of the
+  // latency-throughput frontier (bench/serve_latency.cpp, soak test).
+  std::size_t peak_arena_bytes() const {
+    std::size_t m = 0;
+    for (const ShardReport& s : shards) m = std::max(m, s.mem.arena_high_water_bytes);
+    return m;
+  }
+  std::size_t peak_node_table() const {
+    std::size_t m = 0;
+    for (const ShardReport& s : shards) m = std::max(m, s.mem.node_table_size);
+    return m;
   }
 };
 

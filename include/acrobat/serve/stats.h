@@ -2,6 +2,8 @@
 // a sample vector. Reused by bench_util.h for every bench that reports a
 // distribution instead of a min (DESIGN.md §6 measures achievable latency;
 // serving SLOs are about the tail, so serve_latency reports p50/p95/p99).
+// Per-shard memory gauges live on ShardReport (server.h) as the engine's
+// own MemoryStats.
 #pragma once
 
 #include <algorithm>

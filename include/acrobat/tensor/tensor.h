@@ -61,9 +61,14 @@ struct Tensor {
   TensorView view() const { return TensorView{data, shape}; }
 };
 
-// Bump-pointer arena. Allocations never move and are freed only when the
-// pool dies, so engine nodes can hold raw pointers for the whole run (the
-// backward pass replays against them).
+// Bump-pointer arena over epoch-stamped pages. Allocations never move, so
+// engine nodes can hold raw pointers for the whole run (the backward pass
+// replays against them). By default pages are freed only when the pool
+// dies; under the serving layer's epoch protocol (DESIGN.md §7) the engine
+// stamps an epoch per batching iteration and calls `reclaim_before` once
+// every request live during a page's epochs has completed — the page then
+// returns to a per-pool free list instead of growing the footprint, and the
+// caller guarantees no live reader remains.
 class TensorPool {
  public:
   explicit TensorPool(std::size_t block_floats = 1u << 20) : block_floats_(block_floats) {}
@@ -71,13 +76,11 @@ class TensorPool {
   float* alloc_raw(std::int64_t n) {
     assert(n >= 0);
     if (n == 0) return nullptr;
-    if (blocks_.empty() || used_ + n > static_cast<std::int64_t>(cur_size_)) {
-      cur_size_ = static_cast<std::size_t>(n) > block_floats_ ? static_cast<std::size_t>(n)
-                                                              : block_floats_;
-      blocks_.emplace_back(new float[cur_size_]);
-      used_ = 0;
-    }
-    float* p = blocks_.back().get() + used_;
+    if (pages_.empty() || used_ + n > static_cast<std::int64_t>(pages_.back().size))
+      new_page(static_cast<std::size_t>(n));
+    Page& pg = pages_.back();
+    pg.last_epoch = epoch_;
+    float* p = pg.data.get() + used_;
     used_ += n;
     total_floats_ += n;
     return p;
@@ -102,14 +105,85 @@ class TensorPool {
     return t;
   }
 
+  // ---- epoch recycling (engine-driven; inert unless set_epoch is called)
+
+  // Stamps subsequent allocations with epoch `e` (monotone non-decreasing).
+  void set_epoch(std::uint64_t e) { epoch_ = e; }
+
+  // Returns every page whose last allocation predates `min_live_epoch` to
+  // the free-page pool; the current bump page is kept as the allocation
+  // target (its cursor rewinds instead when it qualifies). Caller contract:
+  // nothing live still reads those pages.
+  std::size_t reclaim_before(std::uint64_t min_live_epoch) {
+    std::size_t reclaimed = 0;
+    for (std::size_t i = 0; i + 1 < pages_.size();) {
+      if (pages_[i].last_epoch >= min_live_epoch) {
+        ++i;
+        continue;
+      }
+      active_floats_ -= static_cast<std::int64_t>(pages_[i].size);
+      free_pages_.push_back(std::move(pages_[i]));
+      // Fill the hole while keeping the bump page last.
+      if (i + 2 < pages_.size()) pages_[i] = std::move(pages_[pages_.size() - 2]);
+      pages_[pages_.size() - 2] = std::move(pages_.back());
+      pages_.pop_back();
+      ++reclaimed;
+      ++pages_recycled_;
+    }
+    if (!pages_.empty() && pages_.back().last_epoch < min_live_epoch && used_ > 0) {
+      used_ = 0;  // bump page fully dead: rewind in place
+      ++pages_recycled_;
+    }
+    return reclaimed;
+  }
+
   std::int64_t total_floats() const { return total_floats_; }
+  // Footprint gauges: floats held by in-use pages now / at the peak. With
+  // recycling the peak plateaus at peak concurrency; without it active ==
+  // peak and both track the whole run.
+  std::int64_t active_floats() const { return active_floats_; }
+  std::int64_t high_water_floats() const { return high_water_floats_; }
+  long long pages_recycled() const { return pages_recycled_; }
 
  private:
+  struct Page {
+    std::unique_ptr<float[]> data;
+    std::size_t size = 0;
+    std::uint64_t last_epoch = 0;  // most recent epoch that allocated here
+  };
+
+  void new_page(std::size_t n) {
+    Page pg;
+    // Reuse the first free page large enough; oversized requests fall
+    // through to a dedicated allocation.
+    for (std::size_t i = 0; i < free_pages_.size(); ++i) {
+      if (free_pages_[i].size >= n) {
+        pg = std::move(free_pages_[i]);
+        free_pages_[i] = std::move(free_pages_.back());
+        free_pages_.pop_back();
+        break;
+      }
+    }
+    if (pg.data == nullptr) {
+      pg.size = n > block_floats_ ? n : block_floats_;
+      pg.data.reset(new float[pg.size]);
+    }
+    pg.last_epoch = epoch_;
+    active_floats_ += static_cast<std::int64_t>(pg.size);
+    if (active_floats_ > high_water_floats_) high_water_floats_ = active_floats_;
+    pages_.push_back(std::move(pg));
+    used_ = 0;
+  }
+
   std::size_t block_floats_;
-  std::vector<std::unique_ptr<float[]>> blocks_;
-  std::size_t cur_size_ = 0;
-  std::int64_t used_ = 0;
+  std::vector<Page> pages_;       // in-use; back() is the bump target
+  std::vector<Page> free_pages_;  // reclaimed, awaiting reuse
+  std::int64_t used_ = 0;         // cursor into pages_.back()
+  std::uint64_t epoch_ = 0;
   std::int64_t total_floats_ = 0;
+  std::int64_t active_floats_ = 0;
+  std::int64_t high_water_floats_ = 0;
+  long long pages_recycled_ = 0;
 };
 
 }  // namespace acrobat

@@ -5,12 +5,13 @@
 namespace acrobat::aot {
 
 Value AotExecutor::run(std::span<const Value> args, InstCtx ctx) {
-  ctx_ = ctx;
-  phase_ = 0;
-  return exec(*prog_.main, args.data(), args.size());
+  RunState st;
+  st.ctx = ctx;
+  return exec(*prog_.main, args.data(), args.size(), st);
 }
 
-Value AotExecutor::exec(const ir::Func& f, const Value* args, std::size_t n_args) {
+Value AotExecutor::exec(const ir::Func& f, const Value* args, std::size_t n_args,
+                        RunState& st) {
   assert(static_cast<int>(n_args) == f.num_args);
   std::vector<Value> regs(static_cast<std::size_t>(f.num_regs));
   for (std::size_t i = 0; i < n_args; ++i) regs[i] = args[i];
@@ -35,7 +36,7 @@ Value AotExecutor::exec(const ir::Func& f, const Value* args, std::size_t n_args
           srcs[i] = v.tref;
         }
         regs[ins.dst] =
-            Value::tensor(engine_.add_op(static_cast<int>(ins.attr), srcs, n, ctx_, phase_));
+            Value::tensor(engine_.add_op(static_cast<int>(ins.attr), srcs, n, st.ctx, st.phase));
         break;
       }
       case ir::Op::kTupleMake: {
@@ -96,13 +97,13 @@ Value AotExecutor::exec(const ir::Func& f, const Value* args, std::size_t n_args
         call_args.reserve(ins.srcs.size());
         for (const int s : ins.srcs) call_args.push_back(regs[s]);
         regs[ins.dst] = exec(*prog_.funcs[static_cast<std::size_t>(ins.attr)], call_args.data(),
-                             call_args.size());
+                             call_args.size(), st);
         break;
       }
       case ir::Op::kRet:
         return regs[ins.srcs[0]];
       case ir::Op::kPhase:
-        phase_ = static_cast<int>(ins.attr);
+        st.phase = static_cast<int>(ins.attr);
         break;
       case ir::Op::kSyncSign: {
         // Inline depth computation means nothing else needs recovering at

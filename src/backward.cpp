@@ -1,6 +1,8 @@
 #include "grad/backward.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace acrobat::grad {
 namespace {
@@ -41,6 +43,14 @@ void acc_maybe_broadcast(Ctx& c, TRef in, const float* g, const Shape& out_shape
 
 BackwardResult backward(Engine& engine, const KernelRegistry& registry,
                         const std::vector<Seed>& seeds, const BackwardOptions& opts) {
+  if (engine.recycling()) {
+    // Recycling drops the exec log (retired node ids would dangle), so a
+    // replay here would silently return zero gradients — refuse instead.
+    std::fprintf(stderr,
+                 "acrobat: backward() on a recycling engine — the exec log is not "
+                 "kept under EngineConfig::recycle; train with recycling off\n");
+    std::abort();
+  }
   BackwardResult res;
   Ctx ctx{engine, res.grads};
   for (const Seed& s : seeds) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <tuple>
@@ -22,14 +24,48 @@ bool matmul_family(OpKind op) {
 Engine::Engine(const KernelRegistry& registry, EngineConfig cfg)
     : registry_(registry), cfg_(cfg) {
   stats_.kernel_invocations.assign(registry.num_kernels(), 0);
+  assert((!cfg_.recycle || cfg_.lazy) && "recycling requires lazy recording");
+}
+
+void Engine::check_ref(TRef r) const {
+#ifndef NDEBUG
+  if (r.id >= nodes_.size() || nodes_[r.id].gen != r.gen) {
+    std::fprintf(stderr,
+                 "acrobat: stale TRef deref: id=%u gen=%u, slot gen=%u (table size %zu) — "
+                 "ref outlived its request's epoch\n",
+                 r.id, r.gen, r.id < nodes_.size() ? nodes_[r.id].gen : 0u, nodes_.size());
+    std::abort();
+  }
+#else
+  (void)r;
+#endif
+}
+
+TRef Engine::alloc_node(Node&& n, bool reusable_slot) {
+  const bool track = cfg_.recycle && reusable_slot;
+  TRef ref;
+  if (track && !free_slots_.empty()) {
+    ref.id = free_slots_.back();
+    free_slots_.pop_back();
+    Node& slot = nodes_[ref.id];
+    n.gen = slot.gen;  // already bumped at retirement
+    slot = std::move(n);
+  } else {
+    ref.id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(std::move(n));
+  }
+  ref.gen = nodes_[ref.id].gen;
+  if (track) request_nodes_[nodes_[ref.id].instance].push_back(ref.id);
+  if (cfg_.recycle && live_nodes() > live_nodes_peak_) live_nodes_peak_ = live_nodes();
+  return ref;
 }
 
 TRef Engine::add_concrete(TensorView v) {
   Node n;
   n.data = v.data;
   n.shape = v.shape;
-  nodes_.push_back(std::move(n));
-  return TRef{static_cast<std::uint32_t>(nodes_.size() - 1)};
+  n.persist = true;
+  return alloc_node(std::move(n), /*reusable_slot=*/false);
 }
 
 TRef Engine::add_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx& ctx, int phase) {
@@ -93,11 +129,62 @@ TRef Engine::record_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx&
   n.depth = depth + 1;  // inline depth computation: maintained at record time
   n.phase = phase;
   n.instance = ctx.instance;
-  nodes_.push_back(std::move(n));
-  const TRef ref{static_cast<std::uint32_t>(nodes_.size() - 1)};
+  // Cached constants are shared across requests of any epoch, so under
+  // recycling they join the persistent region: the slot is never retired
+  // and execute_batch materializes them into the persistent arena.
+  n.persist = cfg_.recycle && cfg_.const_reuse && n_ins == 0;
+  const bool persist = n.persist;
+  const TRef ref = alloc_node(std::move(n), /*reusable_slot=*/!persist);
   pending_.push_back(ref.id);
   if (cfg_.const_reuse && n_ins == 0) const_cache_.emplace(kernel_id, ref);
   return ref;
+}
+
+void Engine::begin_request(int instance) {
+  if (!cfg_.recycle) return;
+  live_requests_.emplace(instance, epoch_);
+}
+
+void Engine::retire_request(int instance) {
+  if (!cfg_.recycle) return;
+  const auto span = request_nodes_.find(instance);
+  if (span != request_nodes_.end()) {
+    for (const std::uint32_t id : span->second) {
+      Node& n = nodes_[id];
+      // A retired request's ops were all executed by its completing trigger;
+      // a still-pending node here would alias its reused slot later.
+      assert(n.data != nullptr && "retiring a request with pending ops");
+      if (n.data == nullptr) continue;
+      ++n.gen;  // stale refs now fault in debug
+      n.data = nullptr;
+      n.kernel_id = -1;
+      n.ins.clear();
+      free_slots_.push_back(id);
+      ++nodes_recycled_;
+    }
+    request_nodes_.erase(span);
+  }
+  live_requests_.erase(instance);
+  // Epoch reclamation: a page is dead once every request admitted at or
+  // before its last allocation epoch has retired — later requests only read
+  // their own (younger) nodes plus the persistent region.
+  std::uint64_t min_live = epoch_;
+  for (const auto& [inst, admitted] : live_requests_)
+    min_live = std::min(min_live, admitted);
+  arena_.reclaim_before(min_live);
+}
+
+Engine::MemoryStats Engine::memory() const {
+  MemoryStats m;
+  m.node_table_size = nodes_.size();
+  m.live_nodes = live_nodes();
+  m.live_nodes_peak = cfg_.recycle ? live_nodes_peak_ : nodes_.size();
+  m.nodes_recycled = nodes_recycled_;
+  m.arena_active_bytes = static_cast<std::size_t>(arena_.active_floats()) * sizeof(float);
+  m.arena_high_water_bytes =
+      static_cast<std::size_t>(arena_.high_water_floats()) * sizeof(float);
+  m.arena_pages_recycled = arena_.pages_recycled();
+  return m;
 }
 
 bool Engine::materialized(TRef r) const { return node(r).data != nullptr; }
@@ -129,6 +216,20 @@ void Engine::sync(TRef r) {
 float Engine::scalar(TRef r) {
   sync(r);
   return node(r).data[0];
+}
+
+void Engine::charge_bytes(std::size_t bytes) {
+  live_bytes_ += bytes;
+  if (cfg_.memory_cap_bytes == 0) return;
+  // Under recycling, reclaimed pages leave the footprint, so the cap is
+  // checked against live arena pages; the append-only path keeps the
+  // cumulative counter (nothing is ever freed there).
+  const std::size_t live =
+      cfg_.recycle ? static_cast<std::size_t>(arena_.active_floats() +
+                                              persist_arena_.active_floats()) *
+                         sizeof(float)
+                   : live_bytes_;
+  if (live > cfg_.memory_cap_bytes) throw OomError{};
 }
 
 void Engine::charge_launch() {
@@ -299,6 +400,13 @@ void Engine::trigger_execution() {
     throw;
   }
   in_trigger_ = false;
+  if (cfg_.recycle) {
+    // One batching iteration = one epoch: requests admitted from here on
+    // can never reference pages last written in this trigger or earlier
+    // (their inputs are their own nodes plus the persistent region).
+    ++epoch_;
+    arena_.set_epoch(epoch_);
+  }
 }
 
 void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
@@ -311,12 +419,18 @@ void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
 
   // Allocate every output of the batch back-to-back: downstream batches
   // over these results see contiguous inputs (the iterative-model fast path
-  // in ablation_gather.cpp).
+  // in ablation_gather.cpp). Persistent nodes (cached constants under
+  // recycling) land in the persistent arena instead — a batch is uniform
+  // here because persistence is decided per kernel (zero-arity + cache).
   std::int64_t total = 0;
   for (const std::uint32_t id : ids) total += nodes_[id].shape.numel();
-  float* out_base = arena_.alloc_raw(total);
-  live_bytes_ += static_cast<std::size_t>(total) * sizeof(float);
-  if (cfg_.memory_cap_bytes != 0 && live_bytes_ > cfg_.memory_cap_bytes) throw OomError{};
+  const bool persist_batch = nodes_[ids[0]].persist;
+#ifndef NDEBUG
+  for (const std::uint32_t id : ids)
+    assert(nodes_[id].persist == persist_batch && "mixed persistence in one batch");
+#endif
+  float* out_base = persist_batch ? persist_arena_.alloc_raw(total) : arena_.alloc_raw(total);
+  charge_bytes(static_cast<std::size_t>(total) * sizeof(float));
 
   std::int64_t off = 0;
   std::vector<float*> outs(n);
@@ -368,8 +482,7 @@ void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
           std::memcpy(staged + static_cast<std::int64_t>(i) * kdim,
                       node(nodes_[ids[i]].ins[0]).data, sizeof(float) * kdim);
         stats_.gather_bytes += static_cast<long long>(n) * kdim * sizeof(float);
-        live_bytes_ += static_cast<std::size_t>(n) * kdim * sizeof(float);
-        if (cfg_.memory_cap_bytes != 0 && live_bytes_ > cfg_.memory_cap_bytes) throw OomError{};
+        charge_bytes(static_cast<std::size_t>(n) * kdim * sizeof(float));
         x_stacked = staged;
       }
       if (x_stacked != nullptr) {
@@ -427,7 +540,9 @@ void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
   }
 
   for (std::size_t i = 0; i < n; ++i) nodes_[ids[i]].data = outs[i];
-  exec_log_.push_back(ExecBatch{kernel_id, ids});
+  // The replay log is only meaningful while node ids are append-only;
+  // recycling reuses them, and serving has no backward pass to feed.
+  if (!cfg_.recycle) exec_log_.push_back(ExecBatch{kernel_id, ids});
 }
 
 }  // namespace acrobat

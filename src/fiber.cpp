@@ -25,7 +25,7 @@ void FiberScheduler::trampoline() {
   // Returning falls through to uc_link (the scheduler's context).
 }
 
-void FiberScheduler::spawn(FiberTask task) {
+void FiberScheduler::spawn(FiberTask task, int tag) {
   assert(current_ < 0 && "spawn must run on the scheduler side, not inside a fiber");
   std::unique_ptr<Fiber> f;
   if (!pool_.empty()) {
@@ -37,6 +37,7 @@ void FiberScheduler::spawn(FiberTask task) {
     ++stacks_allocated_;
   }
   f->task = std::move(task);
+  f->tag = tag;
   f->state = Fiber::kReady;
   getcontext(&f->ctx);
   f->ctx.uc_stack.ss_sp = f->stack.get();
@@ -102,8 +103,13 @@ std::size_t FiberScheduler::reap_done() {
     fibers_[i] = std::move(fibers_.back());
     fibers_.pop_back();
     f->task = nullptr;  // release captured state now, not at next reuse
+    const int tag = f->tag;
+    f->tag = -1;
     pool_.push_back(std::move(f));
     ++reaped;
+    // The request's stack and captures are gone; its engine-side state
+    // (node span, arena epoch) is retired here, on the scheduler side.
+    if (reap_hook_ && tag >= 0) reap_hook_(tag);
   }
   return reaped;
 }

@@ -100,8 +100,9 @@ void Shard::run_worker() {
   const harness::Prepared& p = *prep;
   // Exclusive ownership: this engine, its arena, and the fiber pool live and
   // die on this thread. No locks anywhere downstream of the inbox.
-  const EngineConfig ec = harness::engine_config_for(
+  EngineConfig ec = harness::engine_config_for(
       p.cfg, opts->launch_overhead_ns, opts->time_activities);
+  ec.recycle = opts->recycle;
   Engine eng(p.compiled.module.registry, ec);
 
   std::vector<TRef> wrefs, drefs;
@@ -113,6 +114,10 @@ void Shard::run_worker() {
 
   FiberScheduler fs;
   eng.set_fiber_scheduler(&fs);
+  // Reap = retire: when a completed request's fiber is recycled, its engine
+  // node span goes onto the free list and dead arena epochs return to the
+  // page pool — this is what keeps steady-state memory flat (§7 Recycling).
+  fs.set_reap_hook([&eng](int request_id) { eng.retire_request(request_id); });
   const std::unique_ptr<BatchPolicy> policy = make_policy(opts->policy);
 
   std::deque<int> queue;      // arrived at this shard, not yet admitted
@@ -151,6 +156,7 @@ void Shard::run_worker() {
       rec.shard = index;
       rec.admit_ns = now();
       in_flight.push_back(id);
+      eng.begin_request(id);  // pins this epoch's arena pages until retirement
       fs.spawn([&, id] {
         RequestRecord& r = (*records)[static_cast<std::size_t>(id)];
         InstCtx ctx;
@@ -171,7 +177,7 @@ void Shard::run_worker() {
         if (opts->collect_outputs) r.output = std::move(flat);
         ++report.requests;
         outstanding.fetch_sub(1, std::memory_order_relaxed);
-      });
+      }, /*tag=*/id);
     }
     report.max_live = std::max(report.max_live, in_flight.size());
   };
@@ -213,6 +219,7 @@ void Shard::run_worker() {
   report.triggers = fs.idle_triggers();
   report.stacks_allocated = fs.stacks_allocated();
   report.stats = eng.stats();
+  report.mem = eng.memory();
 }
 
 }  // namespace

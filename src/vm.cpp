@@ -46,12 +46,12 @@ void check_kind(const Value& v, Value::Kind want, const char* what) {
 }  // namespace
 
 Value Vm::run(std::span<const Value> args, InstCtx ctx) {
-  ctx_ = ctx;
-  phase_ = 0;
-  return exec(*prog_.main, std::vector<Value>(args.begin(), args.end()));
+  RunState st;
+  st.ctx = ctx;
+  return exec(*prog_.main, std::vector<Value>(args.begin(), args.end()), st);
 }
 
-Value Vm::exec(const ir::Func& f, const std::vector<Value>& args) {
+Value Vm::exec(const ir::Func& f, const std::vector<Value>& args, RunState& st) {
   Env env;
   env.reserve(static_cast<std::size_t>(f.num_regs));
   for (std::size_t i = 0; i < args.size(); ++i) write(env, static_cast<int>(i), args[i]);
@@ -76,7 +76,7 @@ Value Vm::exec(const ir::Func& f, const std::vector<Value>& args) {
         }
         write(env, ins.dst,
               Value::tensor(engine_.add_op(static_cast<int>(ins.attr), srcs.data(),
-                                           static_cast<int>(srcs.size()), ctx_, phase_)));
+                                           static_cast<int>(srcs.size()), st.ctx, st.phase)));
         break;
       }
       case ir::Op::kTupleMake: {
@@ -151,13 +151,13 @@ Value Vm::exec(const ir::Func& f, const std::vector<Value>& args) {
         std::vector<Value> call_args;
         for (const int s : ins.srcs) call_args.push_back(read(env, s));
         write(env, ins.dst,
-              exec(*prog_.funcs[static_cast<std::size_t>(ins.attr)], call_args));
+              exec(*prog_.funcs[static_cast<std::size_t>(ins.attr)], call_args, st));
         break;
       }
       case ir::Op::kRet:
         return read(env, ins.srcs[0]);
       case ir::Op::kPhase:
-        phase_ = static_cast<int>(ins.attr);
+        st.phase = static_cast<int>(ins.attr);
         break;
       case ir::Op::kSyncSign: {
         const Value& v = read(env, ins.srcs[0]);

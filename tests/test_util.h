@@ -1,18 +1,45 @@
 // Minimal test harness: CHECK macros + a failure count returned from main.
+//
+// Seeded tests draw their seed through acrobat::test::seed(default): the
+// ACROBAT_TEST_SEED env var overrides it, and every failure path prints the
+// seed in use — a flaky-looking seeded failure in a CI log is reproducible
+// locally with ACROBAT_TEST_SEED=<printed value>.
 #pragma once
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 namespace acrobat::test {
 
 inline int g_failures = 0;
+inline std::uint64_t g_seed = 0;
+inline bool g_seed_set = false;
+
+// Returns `def`, or the ACROBAT_TEST_SEED override; records the choice so
+// failure output can point back at it.
+inline std::uint64_t seed(std::uint64_t def) {
+  if (const char* e = std::getenv("ACROBAT_TEST_SEED")) def = std::strtoull(e, nullptr, 0);
+  g_seed = def;
+  g_seed_set = true;
+  return def;
+}
+
+// Called on every CHECK failure: counts it and names the active seed.
+inline void note_failure() {
+  ++g_failures;
+  if (g_seed_set)
+    std::printf("  seed=%" PRIu64 " (rerun with ACROBAT_TEST_SEED=%" PRIu64 ")\n", g_seed,
+                g_seed);
+}
 
 #define CHECK(cond)                                                              \
   do {                                                                           \
     if (!(cond)) {                                                               \
       std::printf("FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);                \
-      ++acrobat::test::g_failures;                                               \
+      acrobat::test::note_failure();                                             \
     }                                                                            \
   } while (0)
 
@@ -23,7 +50,7 @@ inline int g_failures = 0;
     if (!(va == vb)) {                                                           \
       std::printf("FAIL %s:%d: %s == %s (%lld vs %lld)\n", __FILE__, __LINE__,   \
                   #a, #b, static_cast<long long>(va), static_cast<long long>(vb)); \
-      ++acrobat::test::g_failures;                                               \
+      acrobat::test::note_failure();                                             \
     }                                                                            \
   } while (0)
 
@@ -34,7 +61,7 @@ inline int g_failures = 0;
     if (!(std::fabs(va - vb) <= (tol) * (1.0 + std::fabs(vb)))) {                \
       std::printf("FAIL %s:%d: %s ~= %s (%g vs %g)\n", __FILE__, __LINE__, #a,   \
                   #b, va, vb);                                                   \
-      ++acrobat::test::g_failures;                                               \
+      acrobat::test::note_failure();                                             \
     }                                                                            \
   } while (0)
 
@@ -43,7 +70,9 @@ inline int finish(const char* name) {
     std::printf("OK %s\n", name);
     return 0;
   }
-  std::printf("%d failure(s) in %s\n", acrobat::test::g_failures, name);
+  std::printf("%d failure(s) in %s", acrobat::test::g_failures, name);
+  if (g_seed_set) std::printf(" [seed=%" PRIu64 "]", g_seed);
+  std::printf("\n");
   return 1;
 }
 

@@ -31,14 +31,28 @@ inline std::int64_t env_int(const char* name, std::int64_t dflt) {
   return (v != nullptr && *v != '\0') ? std::atoll(v) : dflt;
 }
 
+inline double env_double(const char* name, double dflt) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::atof(v) : dflt;
+}
+
 inline const std::int64_t kLaunchNs =
     std::max<std::int64_t>(0, env_int("ACROBAT_LAUNCH_NS", 3000));  // ~CUDA launch latency
 inline const int kIters = static_cast<int>(
     std::max<std::int64_t>(1, env_int("ACROBAT_BENCH_ITERS", 3)));
 
 // Latency-distribution aggregation (serve_latency and any bench reporting
-// tails instead of a min): nearest-rank p50/p95/p99 + mean.
+// tails instead of a min): nearest-rank p50/p95/p99/p99.9 + mean, plus
+// `attainment(deadline_ms)` — the goodput column's SLO-met fraction.
 using serve::Percentiles;
+
+// Serving benches report goodput against this deadline (ms). 0 (the
+// default) lets the bench derive one from the measured solo service time;
+// ACROBAT_SERVE_DEADLINE_MS pins it without recompiling (EXPERIMENTS.md).
+inline double deadline_ms_or(double derived_ms) {
+  const double env = env_double("ACROBAT_SERVE_DEADLINE_MS", 0.0);
+  return env > 0 ? env : derived_ms;
+}
 
 inline Percentiles percentiles(std::vector<double> samples) {
   return Percentiles::of(std::move(samples));

@@ -19,14 +19,17 @@ using namespace acrobat::bench;
 namespace {
 
 void print_point(double rate, const char* policy, int shards,
-                 const serve::ServeResult& res) {
+                 const serve::ServeResult& res, double deadline_ms) {
   // arenaKB/nodes: worst shard's arena high-water mark and node-table size —
   // with epoch recycling both plateau at peak concurrency, so the frontier
-  // shows memory alongside the tail (DESIGN.md §7 "Recycling").
-  std::printf("%8.0f %-10s %6d | %8.3f %8.3f %8.3f %8.3f | %8.0f %9lld | %8.0f %7zu\n",
+  // shows memory alongside the tail (DESIGN.md §7 "Recycling"). good% is
+  // the fraction of requests under the SLO deadline (ACROBAT_SERVE_DEADLINE_MS
+  // or 8x the solo service time): past the capacity knee it collapses much
+  // faster than the median grows — the tail is what blows the SLO.
+  std::printf("%8.0f %-10s %6d | %8.3f %8.3f %8.3f %8.3f | %8.0f %6.1f %9lld | %8.0f %7zu\n",
               rate, policy, shards, res.latency_ms.p50, res.latency_ms.p95,
               res.latency_ms.p99, res.latency_ms.mean, res.throughput_rps,
-              res.total_launches(),
+              100.0 * res.latency_ms.attainment(deadline_ms), res.total_launches(),
               static_cast<double>(res.peak_arena_bytes()) / 1024.0,
               res.peak_node_table());
 }
@@ -52,13 +55,17 @@ int main() {
       time_min_ms([&] { return harness::run_acrobat(p, one, default_opts()); });
   const double base_rps = 1000.0 / std::max(solo_ms, 1e-3);
 
+  const double deadline_ms = deadline_ms_or(solo_ms * 8.0);
+
   header("serve_latency: continuous-batching latency-throughput frontier",
          "DESIGN.md §7 (serving model)");
-  std::printf("model=%s/%s  solo=%.3fms (~%.0f rps/shard solo)  requests=%d\n",
-              spec.name.c_str(), size_name(large), solo_ms, base_rps, n_requests);
-  std::printf("%8s %-10s %6s | %8s %8s %8s %8s | %8s %9s | %8s %7s\n", "rate",
+  std::printf("model=%s/%s  solo=%.3fms (~%.0f rps/shard solo)  requests=%d  "
+              "deadline=%.3fms\n",
+              spec.name.c_str(), size_name(large), solo_ms, base_rps, n_requests,
+              deadline_ms);
+  std::printf("%8s %-10s %6s | %8s %8s %8s %8s | %8s %6s %9s | %8s %7s\n", "rate",
               "policy", "shards", "p50ms", "p95ms", "p99ms", "mean", "thpt",
-              "launches", "arenaKB", "nodes");
+              "good%", "launches", "arenaKB", "nodes");
 
   std::vector<serve::PolicyConfig> policies(3);
   policies[0].kind = serve::PolicyKind::kGreedy;
@@ -85,7 +92,7 @@ int main() {
         so.policy = pc;
         so.launch_overhead_ns = kLaunchNs;
         const serve::ServeResult res = serve::serve(p, ds, trace, so);
-        print_point(rate, serve::policy_name(pc.kind), shards, res);
+        print_point(rate, serve::policy_name(pc.kind), shards, res, deadline_ms);
       }
     }
     std::printf("\n");
@@ -105,7 +112,7 @@ int main() {
     so.policy = pc;
     so.launch_overhead_ns = kLaunchNs;
     const serve::ServeResult res = serve::serve(p, ds, trace, so);
-    print_point(ls.rate_rps, serve::policy_name(pc.kind), 1, res);
+    print_point(ls.rate_rps, serve::policy_name(pc.kind), 1, res, deadline_ms);
   }
   return 0;
 }

@@ -162,6 +162,12 @@ class Engine {
     std::size_t arena_active_bytes = 0;
     std::size_t arena_high_water_bytes = 0;  // peak bytes in live arena pages
     long long arena_pages_recycled = 0;
+    // Persistent-region footprint (cached constants materialized outside
+    // the epoch protocol). With a multi-model fleet shard every model's
+    // constants land here once; the gauge must go flat after each model's
+    // first request and stay flat for the rest of the trace
+    // (tests/test_fleet.cpp soak).
+    std::size_t persist_arena_high_water_bytes = 0;
   };
   MemoryStats memory() const;
 

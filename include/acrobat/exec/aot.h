@@ -26,6 +26,12 @@ class AotExecutor {
   // a use-after-free, not a mislabel.
   Value run(std::span<const Value> args, InstCtx ctx);
 
+  // Fleet entry (DESIGN.md §8): runs a specific entry function of a merged
+  // multi-model program (fleet/registry.h holds one per model). `entry`
+  // must belong to this executor's program; same re-entrancy contract as
+  // run(), which is the main-entry special case.
+  Value run_entry(const ir::Func& entry, std::span<const Value> args, InstCtx ctx);
+
  private:
   struct RunState {
     InstCtx ctx;

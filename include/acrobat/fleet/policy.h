@@ -1,0 +1,44 @@
+// SLO admission control (DESIGN.md §8): the FleetPolicy extends a base
+// BatchPolicy (greedy / max-batch / deadline-hold — the trigger-cadence
+// half) with class-aware triage — the goodput half. Admission is earliest-
+// deadline-first; a request whose class deadline is already blown is
+// deprioritized (sorted after every request that can still make it) and,
+// past the grace window, shed outright: completing it would be worthless,
+// and the capacity it would burn is what pushes *other* requests past
+// their deadlines. Shedding is what separates goodput from throughput past
+// saturation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "serve/policy.h"
+
+namespace acrobat::fleet {
+
+struct FleetPolicyConfig {
+  serve::PolicyConfig base;  // trigger cadence / batch-width behavior
+  // Per-class completion deadline (ns from arrival); <= 0 means none —
+  // the class is never deprioritized or shed (best-effort default).
+  std::array<std::int64_t, serve::kNumLatencyClasses> deadline_ns{5'000'000, 50'000'000, 0};
+  // false: blown requests are only deprioritized, never dropped (the
+  // latency-only contrast the goodput tests compare against).
+  bool shed = true;
+  // Defer a blown request until it is blown by grace*deadline before
+  // shedding; 0 sheds the moment the deadline passes.
+  double shed_grace = 0.0;
+  // Estimated per-request service time: a request is "blown" once
+  // now + est_service_ns exceeds its deadline — it can no longer finish
+  // inside the SLO even if admitted immediately. 0 sheds only after the
+  // deadline itself passes, which lets EDF admit requests right at their
+  // deadline and burn a whole service time on work that is already doomed
+  // (tests/test_fleet.cpp demonstrates the goodput gap).
+  std::int64_t est_service_ns = 0;
+};
+
+std::int64_t class_deadline_ns(const FleetPolicyConfig& cfg, serve::LatencyClass c);
+
+std::unique_ptr<serve::BatchPolicy> make_fleet_policy(const FleetPolicyConfig& cfg);
+
+}  // namespace acrobat::fleet

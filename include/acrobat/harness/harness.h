@@ -52,6 +52,14 @@ struct Prepared {
 
 Prepared prepare(const models::ModelSpec& spec, bool large, const passes::PipelineConfig& cfg);
 
+// Materializes weight declarations into `out` (appending; allocates the
+// pool if absent). Deterministic per (model name, size): a model gets
+// bitwise-identical weights whether it is prepared solo or compiled into a
+// fleet's merged module — the fleet parity tests (tests/test_fleet.cpp)
+// cross-check fleet outputs against solo serve runs through this.
+void materialize_weights(const std::string& model_name, bool large,
+                         const std::vector<models::WeightDecl>& decls, Weights& out);
+
 // Collects every tensor leaf of a structured result value, in traversal
 // order (shared by run_with_engine and serve/server.h).
 void collect_output_trefs(const Value& v, std::vector<TRef>& out);

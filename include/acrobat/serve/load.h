@@ -3,19 +3,38 @@
 // for GPU launch latency. Open-loop means arrivals do not wait for the
 // server — queueing delay under overload is part of the measured latency,
 // which is what makes the latency-throughput frontier honest.
+//
+// The fleet layer (DESIGN.md §8) generalizes the trace to many models: a
+// request names the registry model it targets and carries a latency class,
+// and `generate_load` over a ModelMix draws model, input, and class per
+// request from one seeded stream — same seed, same trace, regardless of
+// how many shards later serve it.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "support/rng.h"
+
 namespace acrobat::serve {
 
-// One inference request: `input_index` selects an instance from the model's
-// dataset; `arrival_ns` is the enqueue time relative to serve start.
+// Latency classes for class-aware routing and SLO admission control
+// (fleet/policy.h): interactive requests carry the tightest deadline,
+// batch a loose one, best-effort none (they are never shed).
+enum class LatencyClass : std::uint8_t { kInteractive = 0, kBatch = 1, kBestEffort = 2 };
+inline constexpr int kNumLatencyClasses = 3;
+const char* latency_class_name(LatencyClass c);
+
+// One inference request: `input_index` selects an instance from the target
+// model's dataset; `arrival_ns` is the enqueue time relative to serve start
+// (stamped at issue time in closed-loop mode, fleet/fleet.h).
 struct Request {
   int id = 0;
   std::size_t input_index = 0;
   std::int64_t arrival_ns = 0;
+  int model_id = 0;  // fleet: index into the ModelRegistry; single-model = 0
+  LatencyClass latency_class = LatencyClass::kInteractive;
 };
 
 enum class ArrivalKind {
@@ -31,8 +50,46 @@ struct LoadSpec {
   std::uint64_t seed = 1;
 };
 
+// One model's share of a mixed-model trace. Class probabilities are per
+// model (an embedding model can be all-batch while a chat model is all-
+// interactive); the remainder after interactive+batch is best-effort.
+struct ModelMix {
+  int model_id = 0;
+  double weight = 1.0;  // relative traffic share
+  std::size_t num_inputs = 0;
+  double p_interactive = 1.0;
+  double p_batch = 0.0;
+};
+
+// Aborts loudly on a nonsense spec (rate_rps <= 0, num_requests <= 0,
+// burst_size <= 0) instead of silently generating a degenerate trace.
+void validate(const LoadSpec& spec);
+
 // Deterministic per (spec, num_inputs): ids are 0..num_requests-1 in
 // arrival order, input indices uniform over [0, num_inputs).
 std::vector<Request> generate_load(const LoadSpec& spec, std::size_t num_inputs);
+
+// Mixed-model form: per request, the model is drawn by mix weight, the
+// input uniformly over that model's inputs, and the class from that
+// model's probabilities — all from the one seeded stream, so the trace is
+// identical across runs and independent of the serving configuration.
+// With a single all-interactive entry this degenerates bit-for-bit to the
+// single-model overload above.
+std::vector<Request> generate_load(const LoadSpec& spec, const std::vector<ModelMix>& mix);
+
+namespace detail {
+
+// Uniform in (0, 1] — safe for -log(u). Shared by the load generator and
+// the closed-loop client's think-time draws (fleet/fleet.h).
+inline double uniform01(Rng& rng) {
+  const std::uint64_t bits = rng.next() >> 11;  // 53 random bits
+  return 1.0 - static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+inline std::int64_t exp_gap_ns(Rng& rng, double rate_rps) {
+  return static_cast<std::int64_t>(-std::log(uniform01(rng)) / rate_rps * 1e9);
+}
+
+}  // namespace detail
 
 }  // namespace acrobat::serve

@@ -3,10 +3,19 @@
 // to hold the trigger briefly to let more arrivals join the batch. The
 // policy sees only shard-local state — policies never synchronize across
 // shards (DESIGN.md §7).
+//
+// Policies additionally triage each queued request (DESIGN.md §8): the
+// base policies admit everything in arrival order, while the fleet's SLO
+// policy (fleet/policy.h) orders admission earliest-deadline-first,
+// deprioritizes requests whose deadline is blown, and ultimately sheds
+// them — the admission-control half of goodput-oriented serving.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
+
+#include "serve/load.h"
 
 namespace acrobat::serve {
 
@@ -27,10 +36,33 @@ struct AdmitDecision {
   std::int64_t hold_until_ns = -1;
 };
 
+// One queued request as the policy sees it at a triage point.
+struct RequestView {
+  std::int64_t now_ns = 0;
+  std::int64_t arrival_ns = 0;
+  LatencyClass latency_class = LatencyClass::kInteractive;
+};
+
+enum class Verdict : std::uint8_t {
+  kAdmit,  // run; admission order is ascending deadline_ns
+  kDefer,  // deadline blown but within grace: sort after every admit
+  kShed,   // drop without running; completes immediately as shed
+};
+
+struct Triage {
+  Verdict verdict = Verdict::kAdmit;
+  // Absolute deadline used as the admission sort key; max() = no deadline
+  // (best-effort requests sort after everything with an SLO).
+  std::int64_t deadline_ns = std::numeric_limits<std::int64_t>::max();
+};
+
 class BatchPolicy {
  public:
   virtual ~BatchPolicy() = default;
   virtual AdmitDecision decide(const PolicyCtx& ctx) = 0;
+  // Default: admit everything, no deadline — arrival-order FIFO admission,
+  // which is exactly the pre-fleet serve behavior.
+  virtual Triage triage(const RequestView&) { return Triage{}; }
   virtual const char* name() const = 0;
 };
 

@@ -23,7 +23,8 @@ namespace acrobat::serve {
 
 enum class DispatchKind {
   kRoundRobin,   // shard = request id mod N (static, zero coordination)
-  kLeastLoaded,  // fewest outstanding requests at arrival time
+  kLeastLoaded,  // fewest outstanding requests at arrival time; ties break
+                 // to the lowest shard index (deterministic when idle)
 };
 
 struct ServeOptions {
@@ -41,6 +42,11 @@ struct ServeOptions {
   bool recycle = true;
 };
 
+// Aborts loudly on a nonsense configuration (shards <= 0, negative launch
+// overhead) instead of silently clamping — a typo'd sweep should fail the
+// bench, not quietly measure something else.
+void validate(const ServeOptions& opts);
+
 // Per-request ledger: enqueue → admission → completion, all relative to
 // serve start. Latency (the SLO quantity) is completion - arrival, so time
 // spent queued behind an overloaded shard counts.
@@ -50,6 +56,10 @@ struct RequestRecord {
   std::int64_t arrival_ns = 0;
   std::int64_t admit_ns = -1;
   std::int64_t completion_ns = -1;
+  // Fleet SLO admission control (DESIGN.md §8): the request was dropped
+  // without running because its deadline was already blown. completion_ns
+  // is the shed time; `output` stays empty. Plain serve() never sheds.
+  bool shed = false;
   std::vector<float> output;  // when collect_outputs
 
   double latency_ms() const {
@@ -59,6 +69,7 @@ struct RequestRecord {
 
 struct ShardReport {
   int requests = 0;
+  int shed = 0;                  // fleet only: requests dropped past deadline
   long long triggers = 0;        // all-blocked wakeups (fiber scheduler)
   std::size_t max_live = 0;      // peak concurrently admitted requests
   long long stacks_allocated = 0;

@@ -1,7 +1,8 @@
 // Latency aggregation for the serving layer: nearest-rank percentiles over
 // a sample vector. Reused by bench_util.h for every bench that reports a
 // distribution instead of a min (DESIGN.md §6 measures achievable latency;
-// serving SLOs are about the tail, so serve_latency reports p50/p95/p99).
+// serving SLOs are about the tail, so serve_latency reports p50/p95/p99 and
+// the fleet layer adds p99.9 plus deadline attainment — the goodput column).
 // Per-shard memory gauges live on ShardReport (server.h) as the engine's
 // own MemoryStats.
 #pragma once
@@ -14,8 +15,12 @@
 namespace acrobat::serve {
 
 struct Percentiles {
-  double p50 = 0, p95 = 0, p99 = 0, mean = 0, max = 0;
+  double p50 = 0, p95 = 0, p99 = 0, p999 = 0, mean = 0, max = 0;
   std::size_t count = 0;
+  // Retained (sorted ascending) so deadline attainment can be queried for
+  // any deadline after aggregation — serve_latency's goodput column sweeps
+  // ACROBAT_SERVE_DEADLINE_MS without re-running the trace.
+  std::vector<double> sorted;
 
   // Nearest-rank: the ceil(q*N)-th smallest sample.
   static Percentiles of(std::vector<double> samples) {
@@ -23,19 +28,30 @@ struct Percentiles {
     r.count = samples.size();
     if (samples.empty()) return r;
     std::sort(samples.begin(), samples.end());
+    r.sorted = std::move(samples);
     const auto rank = [&](double q) {
-      std::size_t i = static_cast<std::size_t>(std::ceil(q * static_cast<double>(samples.size())));
+      std::size_t i =
+          static_cast<std::size_t>(std::ceil(q * static_cast<double>(r.sorted.size())));
       if (i > 0) --i;
-      return samples[std::min(i, samples.size() - 1)];
+      return r.sorted[std::min(i, r.sorted.size() - 1)];
     };
     r.p50 = rank(0.50);
     r.p95 = rank(0.95);
     r.p99 = rank(0.99);
+    r.p999 = rank(0.999);
     double sum = 0;
-    for (const double s : samples) sum += s;
-    r.mean = sum / static_cast<double>(samples.size());
-    r.max = samples.back();
+    for (const double s : r.sorted) sum += s;
+    r.mean = sum / static_cast<double>(r.sorted.size());
+    r.max = r.sorted.back();
     return r;
+  }
+
+  // Fraction of samples at or under the deadline (SLO attainment). An
+  // empty distribution attains vacuously: 1.0.
+  double attainment(double deadline_ms) const {
+    if (sorted.empty()) return 1.0;
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), deadline_ms);
+    return static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size());
   }
 };
 

@@ -5,9 +5,13 @@
 namespace acrobat::aot {
 
 Value AotExecutor::run(std::span<const Value> args, InstCtx ctx) {
+  return run_entry(*prog_.main, args, ctx);
+}
+
+Value AotExecutor::run_entry(const ir::Func& entry, std::span<const Value> args, InstCtx ctx) {
   RunState st;
   st.ctx = ctx;
-  return exec(*prog_.main, args.data(), args.size(), st);
+  return exec(entry, args.data(), args.size(), st);
 }
 
 Value AotExecutor::exec(const ir::Func& f, const Value* args, std::size_t n_args,

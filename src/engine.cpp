@@ -184,6 +184,8 @@ Engine::MemoryStats Engine::memory() const {
   m.arena_high_water_bytes =
       static_cast<std::size_t>(arena_.high_water_floats()) * sizeof(float);
   m.arena_pages_recycled = arena_.pages_recycled();
+  m.persist_arena_high_water_bytes =
+      static_cast<std::size_t>(persist_arena_.high_water_floats()) * sizeof(float);
   return m;
 }
 

@@ -1,0 +1,670 @@
+// acrobat/fleet implementation (DESIGN.md §8): merged multi-model modules,
+// class-aware dispatch, SLO admission control with shedding, and the
+// open-loop / closed-loop client drivers. The shard worker is the serve
+// layer's continuous-batching loop generalized to a table of per-model
+// engine states — same admission-at-trigger-boundary mechanism, same
+// no-locks-on-the-hot-path ownership (the only cross-thread traffic is
+// the SPSC inbox/outbox pair and the load counter).
+#include "fleet/fleet.h"
+
+#include <sched.h>
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <span>
+#include <thread>
+
+#include "exec/aot.h"
+#include "runtime/fiber.h"
+#include "serve/spsc.h"
+#include "support/timer.h"
+
+namespace acrobat::fleet {
+namespace {
+
+using serve::AdmitDecision;
+using serve::DispatchKind;
+using serve::LatencyClass;
+using serve::PolicyCtx;
+using serve::Request;
+using serve::RequestRecord;
+using serve::RequestView;
+using serve::ShardReport;
+using serve::SpscQueue;
+using serve::Triage;
+using serve::Verdict;
+
+[[noreturn]] void config_die(const char* what) {
+  std::fprintf(stderr, "acrobat fleet: invalid configuration: %s\n", what);
+  std::abort();
+}
+
+// See serve.cpp: waits are for other threads' progress, so yield, never spin.
+void relax() { sched_yield(); }
+
+int class_idx(LatencyClass c) { return static_cast<int>(c); }
+
+// ------------------------------------------------------------- fleet policy
+
+class FleetPolicy final : public serve::BatchPolicy {
+ public:
+  explicit FleetPolicy(const FleetPolicyConfig& cfg)
+      : cfg_(cfg), base_(serve::make_policy(cfg.base)) {}
+
+  AdmitDecision decide(const PolicyCtx& ctx) override { return base_->decide(ctx); }
+
+  Triage triage(const RequestView& v) override {
+    Triage t;
+    const std::int64_t d = class_deadline_ns(cfg_, v.latency_class);
+    if (d <= 0) return t;  // no SLO: admit, sorted after every deadline class
+    t.deadline_ns = v.arrival_ns + d;
+    // A request is blown once it can no longer *finish* inside the SLO:
+    // the latest useful admission point is deadline - est_service.
+    const std::int64_t blown_at = t.deadline_ns - cfg_.est_service_ns;
+    if (v.now_ns <= blown_at) return t;  // still viable: EDF admission
+    // Blown: deprioritize within the grace window, shed beyond it —
+    // running it anyway only pushes *other* requests past their SLO.
+    const auto grace = static_cast<std::int64_t>(cfg_.shed_grace * static_cast<double>(d));
+    t.verdict = cfg_.shed && v.now_ns - blown_at >= grace ? Verdict::kShed : Verdict::kDefer;
+    return t;
+  }
+
+  const char* name() const override { return "fleet"; }
+
+ private:
+  FleetPolicyConfig cfg_;
+  std::unique_ptr<serve::BatchPolicy> base_;
+};
+
+// -------------------------------------------------------------- shard worker
+
+// One engine plus its executor-facing state. Multiplex mode runs a single
+// slot hosting every model; the fallback runs one slot per model.
+struct EngineSlot {
+  std::unique_ptr<Engine> eng;
+  std::unique_ptr<aot::AotExecutor> exec;
+  std::vector<std::vector<TRef>> drefs;  // per model id (empty if not hosted)
+};
+
+struct FleetShard {
+  explicit FleetShard(std::size_t capacity) : inbox(capacity), outbox(capacity) {}
+
+  int index = 0;
+  const ModelRegistry* reg = nullptr;
+  const std::vector<Request>* trace = nullptr;
+  const FleetOptions* opts = nullptr;
+  std::vector<RequestRecord>* records = nullptr;
+  std::int64_t epoch_ns = 0;
+
+  SpscQueue<int> inbox;   // dispatcher → shard (request ids)
+  SpscQueue<int> outbox;  // shard → dispatcher (completed/shed ids; the
+                          // closed-loop client's completion signal)
+  std::atomic<int> outstanding{0};
+  ShardReport report;
+
+  void run_worker();
+};
+
+void merge_stats(ActivityStats& into, const ActivityStats& from) {
+  into.dfg_construction.add(from.dfg_construction.ns);
+  into.scheduling.add(from.scheduling.ns);
+  into.gather_copy.add(from.gather_copy.ns);
+  into.kernel_exec.add(from.kernel_exec.ns);
+  into.launch_overhead.add(from.launch_overhead.ns);
+  into.kernel_launches += from.kernel_launches;
+  into.gather_bytes += from.gather_bytes;
+}
+
+void merge_mem(Engine::MemoryStats& into, const Engine::MemoryStats& from) {
+  into.node_table_size += from.node_table_size;
+  into.live_nodes += from.live_nodes;
+  into.live_nodes_peak += from.live_nodes_peak;
+  into.nodes_recycled += from.nodes_recycled;
+  into.arena_active_bytes += from.arena_active_bytes;
+  into.arena_high_water_bytes += from.arena_high_water_bytes;
+  into.arena_pages_recycled += from.arena_pages_recycled;
+  into.persist_arena_high_water_bytes += from.persist_arena_high_water_bytes;
+}
+
+void FleetShard::run_worker() {
+  const std::vector<FleetModel>& models = reg->models();
+  const int n_models = reg->num_models();
+
+  // Per-model engine states (DESIGN.md §8). Multiplexed, all models share
+  // one engine: one trigger cadence, one node table, one recycling arena,
+  // every model's weights/datasets/constants in one persistent region.
+  // Kernel names are model-prefixed, so merged-registry kernel ids never
+  // alias across models unless the kernels are genuinely identical.
+  std::vector<EngineSlot> slots;
+  const int n_slots = opts->multiplex ? 1 : n_models;
+  for (int s = 0; s < n_slots; ++s) {
+    EngineSlot slot;
+    EngineConfig ec = harness::engine_config_for(
+        reg->cfg(), opts->launch_overhead_ns, opts->time_activities);
+    ec.recycle = opts->recycle;
+    slot.eng = std::make_unique<Engine>(reg->compiled().module.registry, ec);
+    // The merged weight table is global (kLoadWeight indices span models),
+    // so every engine wraps all of it; concrete nodes are cheap views.
+    std::vector<TRef> wrefs;
+    wrefs.reserve(reg->weights().tensors.size());
+    for (const Tensor& t : reg->weights().tensors)
+      wrefs.push_back(slot.eng->add_concrete(t.view()));
+    slot.drefs.resize(static_cast<std::size_t>(n_models));
+    for (int m = 0; m < n_models; ++m) {
+      if (!opts->multiplex && m != s) continue;  // fallback: host one model
+      const models::Dataset& ds = models[static_cast<std::size_t>(m)].dataset;
+      auto& dr = slot.drefs[static_cast<std::size_t>(m)];
+      dr.reserve(ds.tensors.size());
+      for (const Tensor& t : ds.tensors) dr.push_back(slot.eng->add_concrete(t.view()));
+    }
+    slot.exec = std::make_unique<aot::AotExecutor>(reg->compiled().program, *slot.eng,
+                                                   std::move(wrefs));
+    slots.push_back(std::move(slot));
+  }
+  const auto slot_of = [&](int model_id) -> EngineSlot& {
+    return slots[static_cast<std::size_t>(opts->multiplex ? 0 : model_id)];
+  };
+
+  FiberScheduler fs;
+  for (EngineSlot& s : slots) s.eng->set_fiber_scheduler(&fs);
+  fs.set_reap_hook([&](int request_id) {
+    slot_of((*trace)[static_cast<std::size_t>(request_id)].model_id)
+        .eng->retire_request(request_id);
+  });
+  const std::unique_ptr<serve::BatchPolicy> policy = make_fleet_policy(opts->policy);
+
+  std::deque<int> queue;      // arrived, not yet admitted (EDF order after triage)
+  std::deque<int> in_flight;  // admitted, not yet completed (admission order)
+
+  const auto now = [&] { return now_ns() - epoch_ns; };
+  const auto arrival_of = [&](int id) {
+    // records, not the trace: closed-loop arrivals are stamped at issue.
+    return (*records)[static_cast<std::size_t>(id)].arrival_ns;
+  };
+  const auto drain_inbox = [&] {
+    int id;
+    while (inbox.pop(id)) queue.push_back(id);
+  };
+  const auto prune_in_flight = [&] {
+    while (!in_flight.empty() &&
+           (*records)[static_cast<std::size_t>(in_flight.front())].completion_ns >= 0)
+      in_flight.pop_front();
+  };
+  const auto make_ctx = [&] {
+    PolicyCtx c;
+    c.now_ns = now();
+    c.queued = queue.size();
+    c.live = in_flight.size();
+    // Unlike serve.cpp, neither deque is in arrival order here — the queue
+    // is EDF-sorted and in_flight is in admission order — so "oldest" is a
+    // min over arrivals, not front(). A base DeadlinePolicy's hold bound
+    // ("never past the oldest request's SLO") depends on this.
+    for (const int id : queue) {
+      const std::int64_t a = arrival_of(id);
+      if (c.oldest_queued_arrival_ns < 0 || a < c.oldest_queued_arrival_ns)
+        c.oldest_queued_arrival_ns = a;
+    }
+    for (const int id : in_flight) {
+      const std::int64_t a = arrival_of(id);
+      if (c.oldest_live_arrival_ns < 0 || a < c.oldest_live_arrival_ns)
+        c.oldest_live_arrival_ns = a;
+    }
+    c.inbox_open = !inbox.closed() || !inbox.empty_hint();
+    return c;
+  };
+
+  const auto spawn_request = [&](int id) {
+    RequestRecord& rec = (*records)[static_cast<std::size_t>(id)];
+    rec.shard = index;
+    rec.admit_ns = now();
+    in_flight.push_back(id);
+    const int model_id = (*trace)[static_cast<std::size_t>(id)].model_id;
+    slot_of(model_id).eng->begin_request(id);
+    fs.spawn([&, id, model_id] {
+      RequestRecord& r = (*records)[static_cast<std::size_t>(id)];
+      EngineSlot& slot = slot_of(model_id);
+      const FleetModel& fm = reg->model(model_id);
+      InstCtx ctx;
+      ctx.instance = id;
+      const Value in = models::remap_trefs(
+          fm.dataset.inputs[(*trace)[static_cast<std::size_t>(id)].input_index],
+          slot.drefs[static_cast<std::size_t>(model_id)]);
+      const Value out = slot.exec->run_entry(*fm.entry, std::span<const Value>(&in, 1), ctx);
+      std::vector<TRef> outs;
+      harness::collect_output_trefs(out, outs);
+      std::vector<float> flat;
+      for (const TRef ref : outs) {
+        const Tensor t = slot.eng->force(ref);  // suspends until a trigger lands
+        if (opts->collect_outputs) flat.insert(flat.end(), t.data, t.data + t.numel());
+      }
+      r.completion_ns = now();
+      if (opts->collect_outputs) r.output = std::move(flat);
+      ++report.requests;
+      outstanding.fetch_sub(1, std::memory_order_relaxed);
+      const bool pushed = outbox.push(id);
+      assert(pushed && "outbox sized for the whole trace");
+      (void)pushed;
+    }, /*tag=*/id);
+  };
+
+  const auto shed_request = [&](int id) {
+    RequestRecord& rec = (*records)[static_cast<std::size_t>(id)];
+    rec.shard = index;
+    rec.admit_ns = now();
+    rec.completion_ns = rec.admit_ns;
+    rec.shed = true;
+    ++report.shed;
+    outstanding.fetch_sub(1, std::memory_order_relaxed);
+    const bool pushed = outbox.push(id);
+    assert(pushed && "outbox sized for the whole trace");
+    (void)pushed;
+  };
+
+  // Class-aware admission: triage every queued request (shedding the ones
+  // the policy has given up on), order survivors earliest-deadline-first
+  // with deferred (blown-but-in-grace) requests after everything that can
+  // still make its SLO, then admit up to the base policy's budget.
+  struct Cand {
+    int id;
+    std::int64_t key;
+    bool defer;
+  };
+  const auto admit = [&](std::size_t max_admit) {
+    if (queue.empty()) return;
+    const std::int64_t t = now();
+    std::vector<Cand> cands;
+    cands.reserve(queue.size());
+    for (const int id : queue) {
+      RequestView v;
+      v.now_ns = t;
+      v.arrival_ns = arrival_of(id);
+      v.latency_class = (*trace)[static_cast<std::size_t>(id)].latency_class;
+      const Triage tr = policy->triage(v);
+      if (tr.verdict == Verdict::kShed) {
+        shed_request(id);
+        continue;
+      }
+      cands.push_back(Cand{id, tr.deadline_ns, tr.verdict == Verdict::kDefer});
+    }
+    // stable: FIFO within equal (defer, deadline) — arrival order survives.
+    std::stable_sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.defer != b.defer) return !a.defer;
+      return a.key < b.key;
+    });
+    queue.clear();
+    std::size_t i = 0;
+    for (; i < cands.size() && i < max_admit; ++i) spawn_request(cands[i].id);
+    for (; i < cands.size(); ++i) queue.push_back(cands[i].id);  // keep EDF order
+    report.max_live = std::max(report.max_live, in_flight.size());
+  };
+
+  // Trigger-boundary admission (DESIGN.md §7/§8): whatever arrived while
+  // the live pool was recording joins this trigger's pending set, so one
+  // trigger batches old and new requests — now across models too.
+  const auto admission_hook = [&] {
+    drain_inbox();
+    admit(policy->decide(make_ctx()).max_admit);
+    fs.step_ready();  // new fibers record until they suspend
+  };
+  for (EngineSlot& s : slots) s.eng->set_admission_hook(admission_hook);
+
+  for (;;) {
+    drain_inbox();
+    fs.reap_done();
+    prune_in_flight();
+    if (in_flight.empty() && queue.empty()) {
+      if (inbox.closed() && inbox.empty_hint()) break;
+      relax();  // idle: poll for the next arrival
+      continue;
+    }
+    const AdmitDecision d = policy->decide(make_ctx());
+    admit(d.max_admit);
+    if (fs.step_ready() > 0) continue;
+    if (fs.any_blocked()) {
+      if (d.hold_until_ns > now() && (!inbox.closed() || !inbox.empty_hint())) {
+        while (now() < d.hold_until_ns && inbox.empty_hint() && !inbox.closed()) relax();
+        continue;
+      }
+      // One cadence, every model: fire each engine with pending work. A
+      // fiber blocked on a not-yet-triggered engine just re-suspends.
+      for (EngineSlot& s : slots) s.eng->trigger_execution();
+      fs.wake_blocked();
+    }
+  }
+
+  for (EngineSlot& s : slots) {
+    s.eng->set_admission_hook(nullptr);
+    s.eng->set_fiber_scheduler(nullptr);
+  }
+  report.triggers = fs.idle_triggers();
+  report.stacks_allocated = fs.stacks_allocated();
+  for (const EngineSlot& s : slots) {
+    merge_stats(report.stats, s.eng->stats());
+    merge_mem(report.mem, s.eng->memory());
+  }
+}
+
+// --------------------------------------------------------------- dispatching
+
+std::vector<std::unique_ptr<FleetShard>> make_shards(
+    const ModelRegistry& reg, const std::vector<Request>& trace, const FleetOptions& opts,
+    std::vector<RequestRecord>& records, std::int64_t epoch) {
+  std::vector<std::unique_ptr<FleetShard>> shards;
+  shards.reserve(static_cast<std::size_t>(opts.shards));
+  for (int s = 0; s < opts.shards; ++s) {
+    auto sh = std::make_unique<FleetShard>(trace.size());
+    sh->index = s;
+    sh->reg = &reg;
+    sh->trace = &trace;
+    sh->opts = &opts;
+    sh->records = &records;
+    sh->epoch_ns = epoch;
+    shards.push_back(std::move(sh));
+  }
+  return shards;
+}
+
+// Routes one request: restrict to the class's affinity set (empty = all
+// shards), then round-robin or least-loaded within it (ties → lowest index).
+int route(const Request& req, const FleetOptions& opts,
+          const std::vector<std::unique_ptr<FleetShard>>& shards) {
+  const std::vector<int>& aff = opts.class_affinity[static_cast<std::size_t>(
+      class_idx(req.latency_class))];
+  const auto nth_eligible = [&](std::size_t i) {
+    return aff.empty() ? static_cast<int>(i) : aff[i];
+  };
+  const std::size_t n = aff.empty() ? shards.size() : aff.size();
+  if (opts.dispatch == DispatchKind::kRoundRobin)
+    return nth_eligible(static_cast<std::size_t>(req.id) % n);
+  int target = nth_eligible(0);
+  int best_load = INT_MAX;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s = nth_eligible(i);
+    const int load =
+        shards[static_cast<std::size_t>(s)]->outstanding.load(std::memory_order_relaxed);
+    if (load < best_load) {  // strict: ties keep the lowest eligible index
+      best_load = load;
+      target = s;
+    }
+  }
+  return target;
+}
+
+void dispatch_to(FleetShard& sh, int id) {
+  sh.outstanding.fetch_add(1, std::memory_order_relaxed);
+  const bool pushed = sh.inbox.push(id);
+  assert(pushed && "inbox sized for the whole trace");
+  (void)pushed;
+}
+
+FleetResult finalize_result(const std::vector<Request>& trace, const FleetPolicyConfig& pc,
+                            std::vector<RequestRecord> records,
+                            std::vector<std::unique_ptr<FleetShard>> shards) {
+  FleetResult res;
+  res.records = std::move(records);
+
+  std::vector<double> lats;
+  lats.reserve(res.records.size());
+  std::array<std::vector<double>, serve::kNumLatencyClasses> class_lats;
+  std::array<int, serve::kNumLatencyClasses> met{};
+  int met_total = 0, completed = 0;
+  std::int64_t first_arrival = res.records.empty() ? 0 : res.records.front().arrival_ns;
+  std::int64_t last_completion = 0;
+  for (const RequestRecord& r : res.records) {
+    assert(r.completion_ns >= 0 && "every request must complete or shed");
+    const Request& rq = trace[static_cast<std::size_t>(r.id)];
+    const int ci = class_idx(rq.latency_class);
+    ClassReport& cr = res.by_class[static_cast<std::size_t>(ci)];
+    ++cr.requests;
+    first_arrival = std::min(first_arrival, r.arrival_ns);
+    last_completion = std::max(last_completion, r.completion_ns);
+    if (r.shed) {
+      ++cr.shed;
+      ++res.shed;
+      continue;
+    }
+    ++completed;
+    const double ms = r.latency_ms();
+    lats.push_back(ms);
+    class_lats[static_cast<std::size_t>(ci)].push_back(ms);
+    const std::int64_t d = class_deadline_ns(pc, rq.latency_class);
+    if (d <= 0 || r.completion_ns - r.arrival_ns <= d) {
+      ++met[static_cast<std::size_t>(ci)];
+      ++met_total;
+    }
+  }
+  res.latency_ms = serve::Percentiles::of(std::move(lats));
+  for (int c = 0; c < serve::kNumLatencyClasses; ++c) {
+    ClassReport& cr = res.by_class[static_cast<std::size_t>(c)];
+    cr.latency_ms = serve::Percentiles::of(std::move(class_lats[static_cast<std::size_t>(c)]));
+    cr.goodput = cr.requests > 0
+                     ? static_cast<double>(met[static_cast<std::size_t>(c)]) / cr.requests
+                     : 1.0;
+  }
+  res.goodput = res.records.empty()
+                    ? 1.0
+                    : static_cast<double>(met_total) / static_cast<double>(res.records.size());
+  res.makespan_ms = static_cast<double>(last_completion - first_arrival) * 1e-6;
+  if (res.makespan_ms > 0)
+    res.throughput_rps = static_cast<double>(completed) / (res.makespan_ms * 1e-3);
+  res.shards.reserve(shards.size());
+  for (auto& sh : shards) res.shards.push_back(std::move(sh->report));
+  return res;
+}
+
+void check_trace(const ModelRegistry& reg, const std::vector<Request>& trace,
+                 bool sorted_arrivals) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    assert(trace[i].id == static_cast<int>(i) && "trace ids must be 0..N-1");
+    (void)sorted_arrivals;
+    assert((!sorted_arrivals || i == 0 || trace[i].arrival_ns >= trace[i - 1].arrival_ns) &&
+           "trace must be sorted by arrival");
+    if (trace[i].model_id < 0 || trace[i].model_id >= reg.num_models())
+      config_die("trace names a model_id outside the registry");
+    if (trace[i].input_index >=
+        reg.model(trace[i].model_id).dataset.inputs.size())
+      config_die("trace input_index outside the model's dataset");
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- registry
+
+int ModelRegistry::add(const models::ModelSpec& spec, bool large, models::Dataset ds) {
+  if (prepared_) config_die("ModelRegistry::add after prepare()");
+  if (ds.inputs.empty()) config_die("ModelRegistry::add with an empty dataset");
+  const std::size_t w0 = decls_.size();
+  models::BuildCtx bctx{compiled_.program, compiled_.module.registry, cfg_, large, decls_};
+  const int entry_idx = spec.build(bctx);
+
+  FleetModel fm;
+  fm.name = spec.name;
+  fm.large = large;
+  fm.dataset = std::move(ds);
+  fm.entry = compiled_.program.funcs[static_cast<std::size_t>(entry_idx)];
+  fm.entry_index = entry_idx;
+  fm.weight_begin = w0;
+  fm.weight_end = decls_.size();
+  // This model's weights, under its own solo seed: bitwise-identical to a
+  // solo harness::prepare, which is what the parity tests cross-check.
+  const std::vector<models::WeightDecl> slice(decls_.begin() + static_cast<std::ptrdiff_t>(w0),
+                                              decls_.end());
+  harness::materialize_weights(spec.name, large, slice, weights_);
+  models_.push_back(std::move(fm));
+  return static_cast<int>(models_.size()) - 1;
+}
+
+void ModelRegistry::prepare() {
+  if (prepared_) config_die("ModelRegistry::prepare called twice");
+  if (models_.empty()) config_die("ModelRegistry::prepare with no models");
+  // finalize propagates may_sync over the whole merged program; the nominal
+  // main it designates is unused — shards enter through per-model entries.
+  ir::finalize(compiled_.program, models_.front().entry_index);
+  harness::apply_default_schedules(compiled_.module.registry);
+  prepared_ = true;
+}
+
+std::vector<serve::ModelMix> ModelRegistry::uniform_mix() const {
+  std::vector<serve::ModelMix> mix;
+  mix.reserve(models_.size());
+  for (std::size_t m = 0; m < models_.size(); ++m)
+    mix.push_back(serve::ModelMix{static_cast<int>(m), 1.0, models_[m].dataset.inputs.size(),
+                                  1.0, 0.0});
+  return mix;
+}
+
+// ------------------------------------------------------------------ policy
+
+std::int64_t class_deadline_ns(const FleetPolicyConfig& cfg, LatencyClass c) {
+  return cfg.deadline_ns[static_cast<std::size_t>(class_idx(c))];
+}
+
+std::unique_ptr<serve::BatchPolicy> make_fleet_policy(const FleetPolicyConfig& cfg) {
+  return std::make_unique<FleetPolicy>(cfg);
+}
+
+// ---------------------------------------------------------------- validation
+
+void validate(const FleetOptions& opts) {
+  if (opts.shards <= 0) config_die("FleetOptions.shards must be > 0");
+  if (opts.launch_overhead_ns < 0)
+    config_die("FleetOptions.launch_overhead_ns must be >= 0");
+  if (opts.policy.shed_grace < 0) config_die("FleetPolicyConfig.shed_grace must be >= 0");
+  if (opts.policy.est_service_ns < 0)
+    config_die("FleetPolicyConfig.est_service_ns must be >= 0");
+  for (const auto& aff : opts.class_affinity)
+    for (const int s : aff)
+      if (s < 0 || s >= opts.shards)
+        config_die("FleetOptions.class_affinity names a shard out of range");
+}
+
+void validate(const ClosedLoopSpec& spec) {
+  if (spec.clients <= 0) config_die("ClosedLoopSpec.clients must be > 0");
+  if (spec.per_client <= 0) config_die("ClosedLoopSpec.per_client must be > 0");
+  if (spec.think_mean_ms < 0) config_die("ClosedLoopSpec.think_mean_ms must be >= 0");
+}
+
+// ----------------------------------------------------------------- open loop
+
+FleetResult serve_fleet(const ModelRegistry& reg, const std::vector<Request>& trace,
+                        const FleetOptions& opts) {
+  if (!reg.prepared()) config_die("serve_fleet before ModelRegistry::prepare()");
+  validate(opts);
+  check_trace(reg, trace, /*sorted_arrivals=*/true);
+
+  std::vector<RequestRecord> records(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    records[i].id = trace[i].id;
+    records[i].arrival_ns = trace[i].arrival_ns;
+  }
+
+  const std::int64_t epoch = now_ns();
+  std::vector<std::unique_ptr<FleetShard>> shards =
+      make_shards(reg, trace, opts, records, epoch);
+  std::vector<std::thread> workers;
+  workers.reserve(shards.size());
+  for (auto& sh : shards) workers.emplace_back([&shard = *sh] { shard.run_worker(); });
+
+  // Open-loop replay: arrivals never wait for the server (DESIGN.md §7).
+  for (const Request& req : trace) {
+    while (now_ns() - epoch < req.arrival_ns) relax();
+    dispatch_to(*shards[static_cast<std::size_t>(route(req, opts, shards))], req.id);
+  }
+  for (auto& sh : shards) sh->inbox.close();
+  for (std::thread& w : workers) w.join();
+
+  return finalize_result(trace, opts.policy, std::move(records), std::move(shards));
+}
+
+// --------------------------------------------------------------- closed loop
+
+std::vector<Request> generate_closed_load(const ClosedLoopSpec& spec,
+                                          const std::vector<serve::ModelMix>& mix) {
+  validate(spec);
+  if (mix.empty()) config_die("generate_closed_load: empty model mix");
+  // Reuse the open-loop generator for the per-request content draws (model,
+  // input, class come from the same seeded stream contract), then strip the
+  // arrival process: issue times exist only once the serve loop runs.
+  serve::LoadSpec ls;
+  ls.kind = serve::ArrivalKind::kPoisson;
+  ls.rate_rps = 1.0;  // arrival times discarded below
+  ls.num_requests = spec.clients * spec.per_client;
+  ls.seed = spec.seed ^ 0xc105edull;
+  std::vector<Request> trace = serve::generate_load(ls, mix);
+  for (Request& r : trace) r.arrival_ns = 0;
+  return trace;
+}
+
+FleetResult serve_fleet_closed(const ModelRegistry& reg, const ClosedLoopSpec& spec,
+                               const std::vector<serve::ModelMix>& mix,
+                               const FleetOptions& opts) {
+  if (!reg.prepared()) config_die("serve_fleet_closed before ModelRegistry::prepare()");
+  validate(opts);
+  validate(spec);
+  std::vector<Request> trace = generate_closed_load(spec, mix);
+  check_trace(reg, trace, /*sorted_arrivals=*/false);
+
+  std::vector<RequestRecord> records(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) records[i].id = trace[i].id;
+
+  const std::int64_t epoch = now_ns();
+  std::vector<std::unique_ptr<FleetShard>> shards =
+      make_shards(reg, trace, opts, records, epoch);
+  std::vector<std::thread> workers;
+  workers.reserve(shards.size());
+  for (auto& sh : shards) workers.emplace_back([&shard = *sh] { shard.run_worker(); });
+
+  // K logical clients: issue → wait for completion (via the shard outbox)
+  // → think → issue the next. Offered load adapts to service rate, so the
+  // queue can never build beyond K outstanding requests — the structural
+  // contrast with the open-loop frontier.
+  const int total = spec.clients * spec.per_client;
+  std::vector<int> next_k(static_cast<std::size_t>(spec.clients), 0);
+  std::vector<int> outstanding_id(static_cast<std::size_t>(spec.clients), -1);
+  std::vector<std::int64_t> ready_at(static_cast<std::size_t>(spec.clients), 0);
+  std::vector<Rng> think_rng;
+  think_rng.reserve(static_cast<std::size_t>(spec.clients));
+  for (int c = 0; c < spec.clients; ++c)
+    think_rng.emplace_back(spec.seed ^ (0x7417c9ull + 0x9e3779b97f4a7c15ull *
+                                                          static_cast<std::uint64_t>(c + 1)));
+  const auto now_rel = [&] { return now_ns() - epoch; };
+
+  int completed = 0;
+  while (completed < total) {
+    for (auto& sh : shards) {
+      int id;
+      while (sh->outbox.pop(id)) {
+        ++completed;
+        const std::size_t c = static_cast<std::size_t>(id / spec.per_client);
+        outstanding_id[c] = -1;
+        std::int64_t think = 0;
+        if (spec.think_mean_ms > 0)
+          think = serve::detail::exp_gap_ns(think_rng[c], 1000.0 / spec.think_mean_ms);
+        ready_at[c] = now_rel() + think;
+      }
+    }
+    for (int c = 0; c < spec.clients; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      if (outstanding_id[ci] >= 0 || next_k[ci] >= spec.per_client) continue;
+      if (now_rel() < ready_at[ci]) continue;
+      const int id = c * spec.per_client + next_k[ci]++;
+      Request& rq = trace[static_cast<std::size_t>(id)];
+      rq.arrival_ns = now_rel();  // issue time IS the arrival in a closed loop
+      records[static_cast<std::size_t>(id)].arrival_ns = rq.arrival_ns;
+      outstanding_id[ci] = id;
+      dispatch_to(*shards[static_cast<std::size_t>(route(rq, opts, shards))], id);
+    }
+    relax();
+  }
+  for (auto& sh : shards) sh->inbox.close();
+  for (std::thread& w : workers) w.join();
+
+  return finalize_result(trace, opts.policy, std::move(records), std::move(shards));
+}
+
+}  // namespace acrobat::fleet

@@ -54,17 +54,21 @@ Prepared prepare(const models::ModelSpec& spec, bool large, const passes::Pipeli
   ir::finalize(p.compiled.program, main_idx);
   apply_default_schedules(p.compiled.module.registry);
 
+  materialize_weights(spec.name, large, decls, p.weights);
+  return p;
+}
+
+void materialize_weights(const std::string& model_name, bool large,
+                         const std::vector<models::WeightDecl>& decls, Weights& out) {
   // Weights are deterministic per (model, size) so every pipeline config
   // with the same weight layout sees the same parameters.
   std::uint64_t seed = 0x243f6a8885a308d3ull ^ (large ? 0x5851f42d4c957f2dull : 0);
-  for (const char c : spec.name) seed = seed * 131 + static_cast<unsigned char>(c);
+  for (const char c : model_name) seed = seed * 131 + static_cast<unsigned char>(c);
   Rng rng(seed);
-  p.weights.pool = std::make_shared<TensorPool>();
+  if (!out.pool) out.pool = std::make_shared<TensorPool>();
   for (const models::WeightDecl& d : decls)
-    p.weights.tensors.push_back(d.scale == 0.0f ? p.weights.pool->alloc_zero(d.shape)
-                                                : p.weights.pool->alloc_random(d.shape, rng,
-                                                                               d.scale));
-  return p;
+    out.tensors.push_back(d.scale == 0.0f ? out.pool->alloc_zero(d.shape)
+                                          : out.pool->alloc_random(d.shape, rng, d.scale));
 }
 
 RunResult run_with_engine(const Prepared& p, const models::Dataset& ds, const RunOptions& opts,

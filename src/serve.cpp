@@ -6,6 +6,8 @@
 #include <cassert>
 #include <climits>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <span>
 #include <thread>
@@ -19,14 +21,15 @@
 namespace acrobat::serve {
 namespace {
 
-// Uniform in (0, 1] — safe for -log(u).
-double uniform01(Rng& rng) {
-  const std::uint64_t bits = rng.next() >> 11;  // 53 random bits
-  return 1.0 - static_cast<double>(bits) * (1.0 / 9007199254740992.0);
-}
+using detail::exp_gap_ns;
+using detail::uniform01;
 
-std::int64_t exp_gap_ns(Rng& rng, double rate_rps) {
-  return static_cast<std::int64_t>(-std::log(uniform01(rng)) / rate_rps * 1e9);
+// Loud config validation: fprintf + abort (not assert) so a nonsense sweep
+// fails identically in Release and Debug, and the death tests in
+// tests/test_serve.cpp can cover it in either build type.
+[[noreturn]] void config_die(const char* what) {
+  std::fprintf(stderr, "acrobat serve: invalid configuration: %s\n", what);
+  std::abort();
 }
 
 // Waiting sides (dispatcher between arrivals, shard with nothing runnable)
@@ -224,6 +227,29 @@ void Shard::run_worker() {
 
 }  // namespace
 
+const char* latency_class_name(LatencyClass c) {
+  switch (c) {
+    case LatencyClass::kInteractive: return "interactive";
+    case LatencyClass::kBatch: return "batch";
+    case LatencyClass::kBestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+void validate(const LoadSpec& spec) {
+  if (!(spec.rate_rps > 0) || !std::isfinite(spec.rate_rps))
+    config_die("LoadSpec.rate_rps must be a positive finite rate");
+  if (spec.num_requests <= 0) config_die("LoadSpec.num_requests must be > 0");
+  if (spec.kind == ArrivalKind::kBurst && spec.burst_size <= 0)
+    config_die("LoadSpec.burst_size must be > 0 for burst arrivals");
+}
+
+void validate(const ServeOptions& opts) {
+  if (opts.shards <= 0) config_die("ServeOptions.shards must be > 0");
+  if (opts.launch_overhead_ns < 0)
+    config_die("ServeOptions.launch_overhead_ns must be >= 0");
+}
+
 const char* policy_name(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kGreedy: return "greedy";
@@ -243,29 +269,71 @@ std::unique_ptr<BatchPolicy> make_policy(const PolicyConfig& cfg) {
 }
 
 std::vector<Request> generate_load(const LoadSpec& spec, std::size_t num_inputs) {
-  assert(num_inputs > 0);
-  std::vector<Request> trace;
-  trace.reserve(static_cast<std::size_t>(std::max(spec.num_requests, 0)));
+  return generate_load(spec, {ModelMix{0, 1.0, num_inputs, 1.0, 0.0}});
+}
+
+std::vector<Request> generate_load(const LoadSpec& spec, const std::vector<ModelMix>& mix) {
+  validate(spec);
+  if (mix.empty()) config_die("generate_load: empty model mix");
+  double total_weight = 0;
+  for (const ModelMix& m : mix) {
+    if (m.num_inputs == 0) config_die("generate_load: mix entry with no inputs");
+    if (!(m.weight > 0)) config_die("generate_load: mix weights must be > 0");
+    if (m.p_interactive < 0 || m.p_batch < 0 || m.p_interactive + m.p_batch > 1.0 + 1e-12)
+      config_die("generate_load: class probabilities must be a sub-distribution");
+    total_weight += m.weight;
+  }
+
+  // All draws come from this one stream in a fixed per-request order
+  // (arrival gap, model, input, class), so the trace is a pure function of
+  // (spec, mix) — identical across runs and across any serving config.
+  // Degenerate draws are skipped (not consumed), so a single all-
+  // interactive entry reproduces the legacy single-model stream exactly.
   Rng rng(spec.seed ^ 0x10adull);
-  const double rate = std::max(spec.rate_rps, 1e-9);
+  const auto draw_request = [&](int id, std::int64_t t_ns) {
+    Request r;
+    r.id = id;
+    r.arrival_ns = t_ns;
+    std::size_t pick = 0;
+    if (mix.size() > 1) {
+      const double u = uniform01(rng) * total_weight;
+      double cum = 0;
+      for (std::size_t i = 0; i < mix.size(); ++i) {
+        cum += mix[i].weight;
+        if (u <= cum) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    const ModelMix& m = mix[pick];
+    r.model_id = m.model_id;
+    r.input_index =
+        static_cast<std::size_t>(rng.uniform_int(static_cast<int>(m.num_inputs)));
+    if (m.p_interactive < 1.0) {
+      const double u = uniform01(rng);
+      r.latency_class = u <= m.p_interactive ? LatencyClass::kInteractive
+                        : u <= m.p_interactive + m.p_batch ? LatencyClass::kBatch
+                                                           : LatencyClass::kBestEffort;
+    }
+    return r;
+  };
+
+  std::vector<Request> trace;
+  trace.reserve(static_cast<std::size_t>(spec.num_requests));
   std::int64_t t_ns = 0;
   int id = 0;
   while (id < spec.num_requests) {
     if (spec.kind == ArrivalKind::kPoisson) {
-      t_ns += exp_gap_ns(rng, rate);
-      trace.push_back(Request{id, static_cast<std::size_t>(rng.uniform_int(
-                                       static_cast<int>(num_inputs))),
-                              t_ns});
+      t_ns += exp_gap_ns(rng, spec.rate_rps);
+      trace.push_back(draw_request(id, t_ns));
       ++id;
     } else {
       // Bursts arrive as a Poisson process at rate/burst_size, so the mean
       // request rate still matches rate_rps.
-      const int burst = std::max(spec.burst_size, 1);
-      t_ns += exp_gap_ns(rng, rate / burst);
-      for (int b = 0; b < burst && id < spec.num_requests; ++b, ++id)
-        trace.push_back(Request{id, static_cast<std::size_t>(rng.uniform_int(
-                                         static_cast<int>(num_inputs))),
-                                t_ns});
+      t_ns += exp_gap_ns(rng, spec.rate_rps / spec.burst_size);
+      for (int b = 0; b < spec.burst_size && id < spec.num_requests; ++b, ++id)
+        trace.push_back(draw_request(id, t_ns));
     }
   }
   return trace;
@@ -273,7 +341,8 @@ std::vector<Request> generate_load(const LoadSpec& spec, std::size_t num_inputs)
 
 ServeResult serve(const harness::Prepared& p, const models::Dataset& ds,
                   const std::vector<Request>& trace, const ServeOptions& opts) {
-  const int nshards = std::max(1, opts.shards);
+  validate(opts);
+  const int nshards = opts.shards;
   ServeResult res;
   res.records.resize(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {

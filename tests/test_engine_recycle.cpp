@@ -8,9 +8,6 @@
 //  (c) under Debug, dereferencing a stale generation-tagged TRef aborts
 //      loudly (fork-based death test) instead of aliasing the slot's new
 //      owner.
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <cstdio>
 #include <iterator>
 #include <map>
@@ -162,20 +159,7 @@ void test_survivor_bytes_intact_across_retirement() {
 }
 
 #ifndef NDEBUG
-// Runs `f` in a fork; true iff the child died by signal (std::abort).
-template <typename F>
-bool dies(F&& f) {
-  std::fflush(stdout);
-  std::fflush(stderr);
-  const pid_t pid = fork();
-  if (pid == 0) {
-    f();
-    _exit(0);  // skips atexit/leak checks: the child must die in f()
-  }
-  int status = 0;
-  waitpid(pid, &status, 0);
-  return WIFSIGNALED(status);
-}
+using acrobat::test::dies;
 
 // (c) a retired request's TRef no longer matches its slot's generation;
 // any deref through the engine's checked accessor must abort.

@@ -57,6 +57,19 @@ void test_percentiles() {
   CHECK_EQ(static_cast<int>(p.max), 100);
   CHECK_EQ(p.count, 100);
   CHECK_EQ(serve::Percentiles::of({}).count, 0);
+
+  // p99.9 needs 1000+ samples to separate from p99 under nearest-rank.
+  std::vector<double> ys;
+  for (int i = 1; i <= 1000; ++i) ys.push_back(i);
+  const serve::Percentiles q = serve::Percentiles::of(ys);
+  CHECK_EQ(static_cast<int>(q.p99), 990);
+  CHECK_EQ(static_cast<int>(q.p999), 999);
+  // Deadline attainment: fraction of samples at or under the deadline.
+  CHECK_NEAR(q.attainment(500.0), 0.5, 1e-12);
+  CHECK_NEAR(q.attainment(0.5), 0.0, 1e-12);
+  CHECK_NEAR(q.attainment(1000.0), 1.0, 1e-12);
+  CHECK_NEAR(q.attainment(2000.0), 1.0, 1e-12);
+  CHECK_NEAR(serve::Percentiles::of({}).attainment(1.0), 1.0, 1e-12);  // vacuous
 }
 
 void test_load_generator() {
@@ -88,6 +101,90 @@ void test_load_generator() {
   for (std::size_t i = 0; i + 8 <= c.size(); i += 8)
     for (std::size_t j = 1; j < 8; ++j)
       CHECK(c[i + j].arrival_ns == c[i].arrival_ns);
+}
+
+// Mixed-model traces are a pure function of (spec, mix): same seed, same
+// trace, across repeated calls — serving config (shard count etc.) never
+// feeds back into generation. Model/input/class draws respect the mix.
+void test_mixed_load_determinism() {
+  serve::LoadSpec spec;
+  spec.rate_rps = 5000;
+  spec.num_requests = 300;
+  spec.seed = 13;
+  std::vector<serve::ModelMix> mix(2);
+  mix[0] = serve::ModelMix{0, 3.0, 8, 0.5, 0.3};
+  mix[1] = serve::ModelMix{1, 1.0, 5, 0.2, 0.0};
+
+  const auto a = serve::generate_load(spec, mix);
+  const auto b = serve::generate_load(spec, mix);
+  CHECK_EQ(a.size(), 300);
+  int per_model[2] = {0, 0};
+  bool classes_seen[3] = {false, false, false};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    CHECK_EQ(a[i].id, static_cast<int>(i));
+    CHECK(a[i].arrival_ns == b[i].arrival_ns);
+    CHECK(a[i].model_id == b[i].model_id);
+    CHECK(a[i].input_index == b[i].input_index);
+    CHECK(a[i].latency_class == b[i].latency_class);
+    CHECK(a[i].model_id == 0 || a[i].model_id == 1);
+    CHECK(a[i].input_index < mix[static_cast<std::size_t>(a[i].model_id)].num_inputs);
+    classes_seen[static_cast<int>(a[i].latency_class)] = true;
+    ++per_model[a[i].model_id];
+  }
+  // 3:1 weighting within Binomial noise; every class occurs at these sizes.
+  CHECK(per_model[0] > per_model[1]);
+  CHECK(classes_seen[0] && classes_seen[1] && classes_seen[2]);
+
+  // The single-model overload is the degenerate mix, bit for bit.
+  serve::LoadSpec one = spec;
+  const auto c = serve::generate_load(one, 8);
+  const auto d = serve::generate_load(one, {serve::ModelMix{0, 1.0, 8, 1.0, 0.0}});
+  CHECK_EQ(c.size(), d.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    CHECK(c[i].arrival_ns == d[i].arrival_ns);
+    CHECK(c[i].input_index == d[i].input_index);
+    CHECK(c[i].model_id == 0 && d[i].model_id == 0);
+    CHECK(c[i].latency_class == serve::LatencyClass::kInteractive);
+  }
+}
+
+// Nonsense configurations abort loudly instead of silently clamping.
+// Unlike the Debug-only generation checks (test_engine_recycle.cpp), config
+// validation aborts via fprintf+abort in every build type.
+using acrobat::test::dies;
+
+void test_config_validation_dies() {
+  CHECK(dies([] {
+    serve::LoadSpec spec;
+    spec.rate_rps = 0;
+    (void)serve::generate_load(spec, 8);
+  }));
+  CHECK(dies([] {
+    serve::LoadSpec spec;
+    spec.num_requests = 0;
+    (void)serve::generate_load(spec, 8);
+  }));
+  CHECK(dies([] {
+    serve::LoadSpec spec;
+    spec.kind = serve::ArrivalKind::kBurst;
+    spec.burst_size = -1;
+    (void)serve::generate_load(spec, 8);
+  }));
+  CHECK(dies([] {
+    serve::ServeOptions so;
+    so.shards = 0;
+    serve::validate(so);
+  }));
+  CHECK(dies([] {
+    serve::ServeOptions so;
+    so.launch_overhead_ns = -1;
+    serve::validate(so);
+  }));
+  // Sane configs pass through untouched.
+  serve::ServeOptions ok;
+  serve::validate(ok);
+  serve::LoadSpec ls;
+  serve::validate(ls);
 }
 
 void test_spsc_queue() {
@@ -267,6 +364,32 @@ void test_max_batch_policy_caps_pool() {
   for (const serve::RequestRecord& rec : res.records) CHECK(rec.completion_ns >= 0);
 }
 
+// Least-loaded ties break to the lowest shard index: every arrival that
+// finds all shards idle (gaps far longer than the service time) must land
+// on shard 0, deterministically — no hash, no rotation.
+void test_least_loaded_tie_break() {
+  const models::ModelSpec& spec = models::model_by_name("BiRNN");
+  const models::Dataset ds = spec.build_dataset(false, 4, 41);
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+
+  const int n = 5;
+  const auto trace = spread_trace(n, ds.inputs.size(), 50'000'000);  // 50ms gaps
+  // (gaps dwarf the ~ms service time even under ASan, so each arrival
+  // finds every shard idle — a genuine 3-way tie)
+  serve::ServeOptions so;
+  so.shards = 3;
+  so.dispatch = serve::DispatchKind::kLeastLoaded;
+  const serve::ServeResult res = serve::serve(p, ds, trace, so);
+
+  for (const serve::RequestRecord& rec : res.records) {
+    CHECK_EQ(rec.shard, 0);  // all-idle tie → lowest index, every time
+    CHECK(rec.completion_ns >= 0);
+  }
+  CHECK_EQ(res.shards.at(0).requests, n);
+  CHECK_EQ(res.shards.at(1).requests, 0);
+  CHECK_EQ(res.shards.at(2).requests, 0);
+}
+
 void test_deadline_policy_and_least_loaded() {
   const models::ModelSpec& spec = models::model_by_name("DRNN");
   const models::Dataset ds = spec.build_dataset(false, 6, 23);
@@ -298,7 +421,10 @@ void test_deadline_policy_and_least_loaded() {
 int main() {
   test_percentiles();
   test_load_generator();
+  test_mixed_load_determinism();
+  test_config_validation_dies();
   test_spsc_queue();
+  test_least_loaded_tie_break();
   test_serve_matches_solo();
   test_continuous_batching_reduces_launches();
   test_two_shards_partition();

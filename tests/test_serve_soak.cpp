@@ -19,12 +19,7 @@ using namespace acrobat;
 
 namespace {
 
-int env_requests(int def) {
-  const char* e = std::getenv("ACROBAT_SERVE_REQUESTS");
-  if (e == nullptr) return def;
-  const int v = std::atoi(e);
-  return v > 0 ? v : def;
-}
+using acrobat::test::env_requests;
 
 // All arrivals at t=0: the dispatcher floods the shard and max-batch
 // admission turns the run into a long sequence of recycle epochs at a

@@ -6,6 +6,9 @@
 // locally with ACROBAT_TEST_SEED=<printed value>.
 #pragma once
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cmath>
 #include <cstdint>
@@ -13,6 +16,35 @@
 #include <cstdlib>
 
 namespace acrobat::test {
+
+// ACROBAT_SERVE_REQUESTS override for the soak tests (serve + fleet): the
+// ctest entries register reduced-count smokes; the binaries default to the
+// full-scale trace.
+inline int env_requests(int def) {
+  const char* e = std::getenv("ACROBAT_SERVE_REQUESTS");
+  if (e == nullptr) return def;
+  const int v = std::atoi(e);
+  return v > 0 ? v : def;
+}
+
+// Runs `f` in a fork; true iff the child died by signal (std::abort) — the
+// death-test helper behind the stale-ref checks (Debug) and the config
+// validation checks (every build type). The child's stderr is silenced so
+// intended abort messages don't pollute the log.
+template <typename F>
+inline bool dies(F&& f) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    if (freopen("/dev/null", "w", stderr) == nullptr) _exit(2);
+    f();
+    _exit(0);  // skips atexit/leak checks: the child must die in f()
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFSIGNALED(status);
+}
 
 inline int g_failures = 0;
 inline std::uint64_t g_seed = 0;

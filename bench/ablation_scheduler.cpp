@@ -26,6 +26,8 @@ namespace {
 struct Row {
   double sched_ms = 0, wall_ms = 0;
   long long launches = 0;
+  ActivityStats stats;  // full breakdown of the best run (counters are
+                        // identical across runs: each builds a fresh engine)
 };
 
 Row acrobat_row(const models::ModelSpec& spec, const models::Dataset& ds,
@@ -44,6 +46,7 @@ Row acrobat_row(const models::ModelSpec& spec, const models::Dataset& ds,
       r.wall_ms = rr.wall_ms;
       r.sched_ms = rr.stats.scheduling.ms();
       r.launches = rr.stats.kernel_launches;
+      r.stats = rr.stats;
     }
   }
   return r;
@@ -66,6 +69,7 @@ Row dynet_row(const models::ModelSpec& spec, const models::Dataset& ds,
       r.wall_ms = rr.wall_ms;
       r.sched_ms = rr.stats.scheduling.ms();
       r.launches = rr.stats.kernel_launches;
+      r.stats = rr.stats;
     }
   }
   return r;
@@ -83,6 +87,7 @@ int main() {
   std::printf("%-10s | %7s %6s %6s | %7s %6s %6s | %7s %6s %6s | %7s %6s %6s\n",
               "model", "sched", "wall", "launch", "sched", "wall", "launch",
               "sched", "wall", "launch", "sched", "wall", "launch");
+  CounterJson json;
   for (const auto& spec : models::all_models()) {
     const models::Dataset ds = dataset_for(spec, false, 64);
     const Row a = acrobat_row(spec, ds, true);
@@ -95,11 +100,19 @@ int main() {
         spec.name.c_str(), a.sched_ms, a.wall_ms, a.launches, b.sched_ms,
         b.wall_ms, b.launches, c.sched_ms, c.wall_ms, c.launches, d.sched_ms,
         d.wall_ms, d.launches);
+    json.add(spec.name + "/acrobat_inline", a.stats);
+    json.add(spec.name + "/acrobat_dynamic", b.stats);
+    json.add(spec.name + "/dynet_agenda", c.stats);
+    json.add(spec.name + "/dynet_depth", d.stats);
   }
   std::printf(
       "\nexpected: inline depth wins on launch counts (hoisting + fibers:\n"
       "TreeLSTM, DRNN); scheduling time itself is small at ACROBAT's\n"
       "coarsened node counts, and the dynamic-analysis cost inline depth\n"
       "avoids shows at the DyNet columns' per-op scale.\n");
+  // The perf trajectory artifact: exact counters + timing context per
+  // config, diffed (counters only) against bench/golden/BENCH_engine.json
+  // by CI's perf-smoke step.
+  json.write("ablation_scheduler", "BENCH_engine.json");
   return 0;
 }

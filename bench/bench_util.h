@@ -82,6 +82,61 @@ inline models::Dataset dataset_for(const models::ModelSpec& spec, bool large,
                             0xbe9c5 + batch * 31 + (large ? 7 : 0));
 }
 
+// Machine-readable engine-counter emission (the repo's perf trajectory):
+// per-config rows of the engine's activity breakdown. The counter fields —
+// kernel_launches, gather_bytes, flat/stacked batch counts, scheduling
+// allocs — are exact and deterministic for a fixed trace, so CI diffs them
+// against a checked-in golden (scripts/check_bench_counters.py); the *_ns
+// timing fields are machine-dependent context and are never diffed.
+class CounterJson {
+ public:
+  void add(const std::string& config, const ActivityStats& s) {
+    rows_.push_back(Row{config, s});
+  }
+
+  // Writes to $ACROBAT_BENCH_JSON, or `fallback_path` when the env var is
+  // unset/empty; returns false (and writes nothing) if neither names a
+  // path. The emitting bench stays silent about it unless asked.
+  bool write(const char* bench_name, const char* fallback_path = nullptr) const {
+    const char* env = std::getenv("ACROBAT_BENCH_JSON");
+    const char* path = (env != nullptr && *env != '\0') ? env : fallback_path;
+    if (path == nullptr || *path == '\0') return false;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"launch_overhead_ns\": %lld,\n",
+                 bench_name, static_cast<long long>(kLaunchNs));
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const ActivityStats& s = rows_[i].stats;
+      std::fprintf(
+          f,
+          "    {\"config\": \"%s\", \"dfg_ns\": %lld, \"scheduling_ns\": %lld, "
+          "\"gather_ns\": %lld, \"exec_ns\": %lld, \"launch_ns\": %lld, "
+          "\"kernel_launches\": %lld, \"gather_bytes\": %lld, "
+          "\"flat_batches\": %lld, \"stacked_batches\": %lld, "
+          "\"scheduling_allocs\": %lld}%s\n",
+          rows_[i].config.c_str(), static_cast<long long>(s.dfg_construction.ns),
+          static_cast<long long>(s.scheduling.ns),
+          static_cast<long long>(s.gather_copy.ns),
+          static_cast<long long>(s.kernel_exec.ns),
+          static_cast<long long>(s.launch_overhead.ns), s.kernel_launches,
+          s.gather_bytes, s.flat_batches, s.stacked_batches, s.scheduling_allocs,
+          i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path, rows_.size());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string config;
+    ActivityStats stats;
+  };
+  std::vector<Row> rows_;
+};
+
 inline void header(const char* title, const char* paper_ref) {
   std::printf("\n================================================================\n");
   std::printf("%s\n  (reproduces %s; CPU substrate, launch overhead %lldns —\n"

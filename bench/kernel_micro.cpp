@@ -52,6 +52,93 @@ BENCHMARK(BM_EltwiseVariant)
     ->ArgsProduct({{0, 1}, {256, 4096}})
     ->ArgNames({"variant", "n"});
 
+// The flat-batch collapse the engine's trigger hot path performs (ISSUE 5):
+// n elementwise ops of `numel` each, executed as n run_op calls vs ONE call
+// over n×numel. Same floats either way; the delta is pure per-call overhead
+// — what execute_batch saves per trigger.
+void BM_EltwiseBatchPerOp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int numel = static_cast<int>(state.range(1));
+  TensorPool pool;
+  Rng rng(7);
+  Tensor x = pool.alloc_random(RowVec(n * numel), rng, 0.5f);
+  Tensor out = pool.alloc(RowVec(n * numel));
+  const Shape s = RowVec(numel);
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      const float* ins[1] = {x.data + static_cast<std::int64_t>(i) * numel};
+      run_op(OpKind::kTanh, 1, ins, &s, out.data + static_cast<std::int64_t>(i) * numel,
+             s, 0);
+    }
+    benchmark::DoNotOptimize(out.data[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n * numel);
+}
+BENCHMARK(BM_EltwiseBatchPerOp)
+    ->ArgsProduct({{16, 64, 256}, {16}})
+    ->ArgNames({"batch", "numel"});
+
+void BM_EltwiseBatchFlat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int numel = static_cast<int>(state.range(1));
+  TensorPool pool;
+  Rng rng(7);
+  Tensor x = pool.alloc_random(RowVec(n * numel), rng, 0.5f);
+  Tensor out = pool.alloc(RowVec(n * numel));
+  const Shape flat = RowVec(n * numel);
+  const float* ins[1] = {x.data};
+  for (auto _ : state) {
+    run_op(OpKind::kTanh, 1, ins, &flat, out.data, flat, 0);
+    benchmark::DoNotOptimize(out.data[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n * numel);
+}
+BENCHMARK(BM_EltwiseBatchFlat)
+    ->ArgsProduct({{16, 64, 256}, {16}})
+    ->ArgNames({"batch", "numel"});
+
+// Stacked shared-weight dense: n row-vector denses as n calls vs one
+// (n×k)·Wᵀ call — the matmul-family half of the same collapse.
+void BM_DenseBatchPerOp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kDim = 16;
+  TensorPool pool;
+  Rng rng(7);
+  Tensor x = pool.alloc_random(Shape(n, kDim), rng, 0.5f);
+  Tensor w = pool.alloc_random(Shape(kDim, kDim), rng, 0.1f);
+  Tensor out = pool.alloc(Shape(n, kDim));
+  const Shape xs = RowVec(kDim);
+  const Shape shapes[2] = {xs, w.shape};
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      const float* ins[2] = {x.data + static_cast<std::int64_t>(i) * kDim, w.data};
+      run_op(OpKind::kDense, 2, ins, shapes, out.data + static_cast<std::int64_t>(i) * kDim,
+             xs, 0);
+    }
+    benchmark::DoNotOptimize(out.data[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * kDim * kDim);
+}
+BENCHMARK(BM_DenseBatchPerOp)->Arg(16)->Arg(64)->ArgNames({"batch"});
+
+void BM_DenseBatchStacked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kDim = 16;
+  TensorPool pool;
+  Rng rng(7);
+  Tensor x = pool.alloc_random(Shape(n, kDim), rng, 0.5f);
+  Tensor w = pool.alloc_random(Shape(kDim, kDim), rng, 0.1f);
+  Tensor out = pool.alloc(Shape(n, kDim));
+  const Shape shapes[2] = {x.shape, w.shape};
+  const float* ins[2] = {x.data, w.data};
+  for (auto _ : state) {
+    run_op(OpKind::kDense, 2, ins, shapes, out.data, out.shape, 0);
+    benchmark::DoNotOptimize(out.data[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * kDim * kDim);
+}
+BENCHMARK(BM_DenseBatchStacked)->Arg(16)->Arg(64)->ArgNames({"batch"});
+
 void BM_MatMulBT(benchmark::State& state) {
   const int s = static_cast<int>(state.range(0));
   TensorPool pool;

@@ -49,6 +49,14 @@ void breakdown(const char* model, bool large) {
       static_cast<double>(a.stats.kernel_launches), "calls");
   row("Device API time", d.stats.launch_overhead.ms() + d.stats.gather_copy.ms(),
       a.stats.launch_overhead.ms() + a.stats.gather_copy.ms());
+  // Hot-path shape (ISSUE 5): batches collapsed to one flat/stacked call,
+  // and scheduler scratch growth (0 in steady state — fresh engines here
+  // show the warmup count).
+  row("Flat+stacked batches",
+      static_cast<double>(d.stats.flat_batches + d.stats.stacked_batches),
+      static_cast<double>(a.stats.flat_batches + a.stats.stacked_batches), "calls");
+  row("Scheduling allocs", static_cast<double>(d.stats.scheduling_allocs),
+      static_cast<double>(a.stats.scheduling_allocs), "allocs");
   row("Total (wall)", d.wall_ms, a.wall_ms);
 }
 

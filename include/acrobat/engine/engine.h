@@ -38,6 +38,17 @@ struct ActivityStats {
   TimeBucket launch_overhead;   // simulated device API time
   long long kernel_launches = 0;
   long long gather_bytes = 0;  // bytes staged by explicit gathers
+  // Single-call batch executions: a flat elementwise collapse (n ops → one
+  // run_op over n×numel) or a stacked shared-parameter matmul. Together
+  // with kernel_launches these make the hot-path shape observable — tests
+  // assert the fast paths actually fire, not just that outputs match.
+  long long flat_batches = 0;
+  long long stacked_batches = 0;
+  // Scheduler/executor scratch growth events. All per-trigger bookkeeping
+  // lives in engine-owned buffers reused across triggers, so after warmup
+  // this stops advancing — steady-state serving does zero scheduler heap
+  // allocation (tests/test_engine_batching.cpp asserts the plateau).
+  long long scheduling_allocs = 0;
 };
 
 struct EngineStats : ActivityStats {
@@ -59,6 +70,13 @@ struct EngineConfig {
   bool phases = true;        // honor program phase tags when grouping
   bool gather_fusion = true;  // false: stage scattered batch inputs via copies
   bool const_reuse = true;    // dedupe zero-arity constant nodes
+  // Flat batch execution for elementwise families: a batch of n same-kernel
+  // elementwise ops with contiguous inputs (the common case — batch outputs
+  // are allocated back-to-back) runs as ONE run_op over n×numel elements
+  // instead of n calls, with bitwise-identical outputs. Scattered inputs
+  // fall back per-op, or through an explicit staging gather when
+  // gather_fusion is off. False isolates the op-at-a-time path (tests).
+  bool fuse_elementwise = true;
   SchedulerKind scheduler = SchedulerKind::kDepth;
   bool shape_keyed_batching = true;  // false: matmul family batches per first arg
   bool boxed_dfg = false;            // DyNet-style per-node construction work
@@ -162,6 +180,11 @@ class Engine {
     std::size_t arena_active_bytes = 0;
     std::size_t arena_high_water_bytes = 0;  // peak bytes in live arena pages
     long long arena_pages_recycled = 0;
+    // Slots a Release-mode retire_request could not recycle because the
+    // request still had pending (unexecuted) ops — reusing such a slot
+    // would alias the next request, so it is abandoned instead. Debug
+    // builds assert; steady-state soaks check this stays 0.
+    long long leaked_slots = 0;
     // Persistent-region footprint (cached constants materialized outside
     // the epoch protocol). With a multi-model fleet shard every model's
     // constants land here once; the gauge must go flat after each model's
@@ -200,11 +223,40 @@ class Engine {
   TRef record_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx& ctx, int phase);
   TRef alloc_node(Node&& n, bool reusable_slot);
   void execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids, bool merge_launch);
+  // Flat/stacked fast paths (DESIGN.md §4 "Flat elementwise execution"):
+  // collapse n same-kernel ops into one run_op call when inputs line up.
+  // Both return false to fall back to the op-at-a-time loop.
+  bool try_execute_flat(const Kernel& k, const std::vector<std::uint32_t>& ids,
+                        float* out_base);
+  bool try_execute_stacked(const Kernel& k, const std::vector<std::uint32_t>& ids,
+                           float* out_base);
+  // Explicit staging gather: copies operand `operand` of every batch member
+  // (`step` floats each) into one contiguous arena buffer, charging
+  // gather-copy time and bytes. charge_bytes may throw OomError.
+  float* stage_gather(const std::vector<std::uint32_t>& ids, int operand,
+                      std::int64_t step);
   void schedule_depth(std::vector<std::uint32_t>& pending);
   void schedule_agenda(std::vector<std::uint32_t>& pending);
   void recover_depths(const std::vector<std::uint32_t>& pending);
   void charge_bytes(std::size_t bytes);  // memory-cap accounting (OomError)
   void charge_launch();
+
+  // --- allocation-free scheduling (DESIGN.md §5 "Scratch reuse") ---------
+  // Dense-keyed bucket map reused across triggers: `index[key]` names a
+  // slot in `lists`, `keys` records touched keys for ordered iteration and
+  // O(touched) reset. Growth goes through scratch_reserve so the stats
+  // counter sees every scheduler heap allocation.
+  struct BucketScratch {
+    std::vector<std::int32_t> index;                // key → slot, -1 empty
+    std::vector<std::vector<std::uint32_t>> lists;  // slot → member ids
+    std::vector<std::uint32_t> keys;                // touched keys
+    std::size_t used = 0;                           // live slots
+  };
+  template <class T>
+  void scratch_reserve(std::vector<T>& v, std::size_t need);
+  void bucket_push(BucketScratch& b, std::uint32_t key, std::uint32_t id);
+  void bucket_reset(BucketScratch& b);
+  void reset_sched_scratch();  // exception path: drop partial trigger state
 
   const KernelRegistry& registry_;
   EngineConfig cfg_;
@@ -231,6 +283,31 @@ class Engine {
   std::uint64_t epoch_ = 0;  // advances at the end of every trigger
   std::size_t live_nodes_peak_ = 0;
   long long nodes_recycled_ = 0;
+  long long leaked_slots_ = 0;
+
+  // --- scheduler scratch, reused across triggers (zero steady-state heap
+  // traffic; growth events count into stats_.scheduling_allocs)
+  BucketScratch phase_buckets_;  // phase → pending ids
+  BucketScratch depth_buckets_;  // depth*K + kernel → pending ids (phase 0)
+  BucketScratch wave_buckets_;   // kernel → ready ids (phase > 0 waves)
+  std::vector<std::uint32_t> wave_todo_, wave_rest_;
+  std::vector<std::uint32_t> trigger_scratch_;  // pending_ swap buffer
+  std::vector<float*> outs_scratch_;            // per-batch output cursors
+  std::vector<std::uint32_t> eager_scratch_;    // eager mode's 1-op batch
+  // Agenda-scheduler scratch: per-node stamp/rank (stamped, so no O(table)
+  // clears) plus per-pending remaining counts and a consumers CSR.
+  std::vector<std::uint32_t> agenda_stamp_, agenda_rank_, agenda_order_;
+  std::uint32_t agenda_gen_ = 0;
+  std::vector<int> agenda_remaining_;
+  std::vector<std::uint32_t> agenda_cons_off_, agenda_cons_cur_, agenda_cons_;
+  std::vector<std::uint32_t> agenda_batch_;  // the class being executed
+  struct ReadyClass {
+    std::uint64_t sig;
+    std::uint32_t list;  // slot in ready_pool_
+  };
+  std::vector<ReadyClass> ready_classes_;  // sig-ascending (map iteration order)
+  std::vector<std::vector<std::uint32_t>> ready_pool_;
+  std::vector<std::uint32_t> ready_free_;
 };
 
 }  // namespace acrobat

@@ -37,7 +37,18 @@ class ModelRegistry {
  public:
   // One pipeline config per fleet: every model compiles at the same
   // ablation level, exactly as a solo harness::prepare would.
-  explicit ModelRegistry(passes::PipelineConfig cfg = {}) : cfg_(cfg) {}
+  //
+  // `dedupe_kernels` (default on) keys the merged KernelRegistry by
+  // structure — (op, attr, arity, representative shapes) — instead of by
+  // model-prefixed name, so genuinely identical kernels across (and
+  // within) fleet models collapse into one registry entry and their ops
+  // batch into shared launches. Outputs are bitwise-unchanged: merging
+  // affects only how ops group, never what each op computes
+  // (tests/test_fleet.cpp cross-checks both claims).
+  explicit ModelRegistry(passes::PipelineConfig cfg = {}, bool dedupe_kernels = true)
+      : cfg_(cfg) {
+    if (dedupe_kernels) compiled_.module.registry.enable_structural_dedupe();
+  }
 
   // Compiles the spec into the merged module and takes ownership of its
   // dataset. Returns the model id requests use (dense, in add order).

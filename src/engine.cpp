@@ -5,8 +5,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
-#include <tuple>
 
 #include "runtime/fiber.h"
 
@@ -20,6 +18,64 @@ bool matmul_family(OpKind op) {
 }
 
 }  // namespace
+
+// ------------------------------------------------------------ scratch reuse
+
+template <class T>
+void Engine::scratch_reserve(std::vector<T>& v, std::size_t need) {
+  if (need <= v.capacity()) return;
+  // Explicit doubling (not the stdlib's policy) so the alloc count is
+  // deterministic across toolchains — CI diffs it against a golden.
+  std::size_t cap = v.capacity() == 0 ? 16 : v.capacity() * 2;
+  if (cap < need) cap = need;
+  v.reserve(cap);
+  ++stats_.scheduling_allocs;
+}
+
+void Engine::bucket_push(BucketScratch& b, std::uint32_t key, std::uint32_t id) {
+  if (key >= b.index.size()) {
+    scratch_reserve(b.index, static_cast<std::size_t>(key) + 1);
+    b.index.resize(static_cast<std::size_t>(key) + 1, -1);
+  }
+  std::int32_t slot = b.index[key];
+  if (slot < 0) {
+    if (b.used == b.lists.size()) {
+      scratch_reserve(b.lists, b.used + 1);
+      b.lists.emplace_back();
+    }
+    slot = static_cast<std::int32_t>(b.used++);
+    b.index[key] = slot;
+    scratch_reserve(b.keys, b.keys.size() + 1);
+    b.keys.push_back(key);
+  }
+  std::vector<std::uint32_t>& lst = b.lists[static_cast<std::size_t>(slot)];
+  scratch_reserve(lst, lst.size() + 1);
+  lst.push_back(id);
+}
+
+void Engine::bucket_reset(BucketScratch& b) {
+  for (const std::uint32_t key : b.keys) {
+    b.lists[static_cast<std::size_t>(b.index[key])].clear();
+    b.index[key] = -1;
+  }
+  b.keys.clear();
+  b.used = 0;
+}
+
+void Engine::reset_sched_scratch() {
+  bucket_reset(phase_buckets_);
+  bucket_reset(depth_buckets_);
+  bucket_reset(wave_buckets_);
+  wave_todo_.clear();
+  wave_rest_.clear();
+  agenda_batch_.clear();
+  ready_classes_.clear();
+  ready_free_.clear();
+  for (std::size_t i = 0; i < ready_pool_.size(); ++i) {
+    ready_pool_[i].clear();
+    ready_free_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
 
 Engine::Engine(const KernelRegistry& registry, EngineConfig cfg)
     : registry_(registry), cfg_(cfg) {
@@ -78,9 +134,11 @@ TRef Engine::add_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx& ct
   }
   if (!cfg_.lazy && !materialized(ref)) {
     // Eager baseline: one launch per op, recorded and executed in place.
-    std::vector<std::uint32_t> one{ref.id};
+    eager_scratch_.clear();
+    scratch_reserve(eager_scratch_, 1);
+    eager_scratch_.push_back(ref.id);
     pending_.pop_back();
-    execute_batch(kernel_id, one, /*merge_launch=*/false);
+    execute_batch(kernel_id, eager_scratch_, /*merge_launch=*/false);
   }
   return ref;
 }
@@ -122,6 +180,15 @@ TRef Engine::record_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx&
     depth = std::max(depth, in.depth);
   }
 
+  // Phases are dense scheduler bucket keys now (not map keys): a negative
+  // tag — only possible from a malformed compiled program — would cast to
+  // a ~4G index. Fault loudly in every build instead.
+  if (phase < 0) {
+    std::fprintf(stderr, "acrobat: negative program phase tag %d on kernel %s\n", phase,
+                 k.name.c_str());
+    std::abort();
+  }
+
   Node n;
   n.kernel_id = kernel_id;
   n.ins.assign(ins, ins + n_ins);
@@ -152,9 +219,15 @@ void Engine::retire_request(int instance) {
     for (const std::uint32_t id : span->second) {
       Node& n = nodes_[id];
       // A retired request's ops were all executed by its completing trigger;
-      // a still-pending node here would alias its reused slot later.
+      // a still-pending node here would alias its reused slot later. Debug
+      // builds abort; Release builds must abandon the slot (it can never be
+      // reissued safely) and COUNT the leak — MemoryStats::leaked_slots
+      // surfaces it in the soak gauges instead of hiding a growing table.
       assert(n.data != nullptr && "retiring a request with pending ops");
-      if (n.data == nullptr) continue;
+      if (n.data == nullptr) {
+        ++leaked_slots_;
+        continue;
+      }
       ++n.gen;  // stale refs now fault in debug
       n.data = nullptr;
       n.kernel_id = -1;
@@ -184,6 +257,7 @@ Engine::MemoryStats Engine::memory() const {
   m.arena_high_water_bytes =
       static_cast<std::size_t>(arena_.high_water_floats()) * sizeof(float);
   m.arena_pages_recycled = arena_.pages_recycled();
+  m.leaked_slots = leaked_slots_;
   m.persist_arena_high_water_bytes =
       static_cast<std::size_t>(persist_arena_.high_water_floats()) * sizeof(float);
   return m;
@@ -267,50 +341,77 @@ void Engine::schedule_depth(std::vector<std::uint32_t>& pending) {
   // kernel alone — that is what lets e.g. per-instance root classifiers
   // sitting at different tree depths share one launch. Builders keep
   // dependencies monotone in phase.
-  std::map<int, std::vector<std::uint32_t>> by_phase;
+  //
+  // All grouping state lives in engine-owned scratch reused across
+  // triggers: dense-keyed buckets plus a sort of the (small) touched-key
+  // list reproduce the old std::map's ascending iteration order with zero
+  // steady-state heap traffic.
+  const std::uint32_t K = static_cast<std::uint32_t>(registry_.num_kernels());
   for (const std::uint32_t id : pending)
-    by_phase[cfg_.phases ? nodes_[id].phase : 0].push_back(id);
+    bucket_push(phase_buckets_,
+                cfg_.phases ? static_cast<std::uint32_t>(nodes_[id].phase) : 0u, id);
+  std::sort(phase_buckets_.keys.begin(), phase_buckets_.keys.end());
 
-  for (auto& [phase, ids] : by_phase) {
+  for (const std::uint32_t phase : phase_buckets_.keys) {
+    std::vector<std::uint32_t>& ids =
+        phase_buckets_.lists[static_cast<std::size_t>(phase_buckets_.index[phase])];
     if (phase == 0) {
-      std::map<std::pair<int, int>, std::vector<std::uint32_t>> groups;
       for (const std::uint32_t id : ids)
-        groups[{nodes_[id].depth, nodes_[id].kernel_id}].push_back(id);
+        bucket_push(depth_buckets_,
+                    static_cast<std::uint32_t>(nodes_[id].depth) * K +
+                        static_cast<std::uint32_t>(nodes_[id].kernel_id),
+                    id);
+      // key = depth*K + kernel, so ascending keys == the old ascending
+      // (depth, kernel) pair order.
+      std::sort(depth_buckets_.keys.begin(), depth_buckets_.keys.end());
       if (cfg_.time_activities) stats_.scheduling.add(now_ns() - t0);
-      int last_depth = -1;
-      for (auto& [key, batch] : groups) {
+      std::uint32_t last_depth = 0xffffffffu;
+      for (const std::uint32_t key : depth_buckets_.keys) {
         // Cortex persistent-kernel mode: batches in one depth wave share a
         // single launch.
-        const bool merge = cfg_.fuse_waves && key.first == last_depth;
-        last_depth = key.first;
-        execute_batch(key.second, batch, merge);
+        const std::uint32_t depth = key / K;
+        const bool merge = cfg_.fuse_waves && depth == last_depth;
+        last_depth = depth;
+        execute_batch(static_cast<int>(key % K),
+                      depth_buckets_.lists[static_cast<std::size_t>(
+                          depth_buckets_.index[key])],
+                      merge);
       }
+      bucket_reset(depth_buckets_);
       t0 = now_ns();
       continue;
     }
-    std::vector<std::uint32_t> todo = ids;
-    while (!todo.empty()) {
-      std::map<int, std::vector<std::uint32_t>> wave;  // kernel → ready nodes
-      std::vector<std::uint32_t> rest;
-      for (const std::uint32_t id : todo) {
+    scratch_reserve(wave_todo_, ids.size());
+    wave_todo_.assign(ids.begin(), ids.end());
+    while (!wave_todo_.empty()) {
+      wave_rest_.clear();
+      for (const std::uint32_t id : wave_todo_) {
         bool ready = true;
         for (const TRef in : nodes_[id].ins)
           if (node(in).data == nullptr) {
             ready = false;
             break;
           }
-        if (ready)
-          wave[nodes_[id].kernel_id].push_back(id);
-        else
-          rest.push_back(id);
+        if (ready) {
+          bucket_push(wave_buckets_, static_cast<std::uint32_t>(nodes_[id].kernel_id), id);
+        } else {
+          scratch_reserve(wave_rest_, wave_rest_.size() + 1);
+          wave_rest_.push_back(id);
+        }
       }
-      assert(!wave.empty() && "phase-group dependency cycle");
+      assert(!wave_buckets_.keys.empty() && "phase-group dependency cycle");
+      std::sort(wave_buckets_.keys.begin(), wave_buckets_.keys.end());
       if (cfg_.time_activities) stats_.scheduling.add(now_ns() - t0);
-      for (auto& [kid, batch] : wave) execute_batch(kid, batch, false);
+      for (const std::uint32_t kid : wave_buckets_.keys)
+        execute_batch(static_cast<int>(kid),
+                      wave_buckets_.lists[static_cast<std::size_t>(wave_buckets_.index[kid])],
+                      false);
+      bucket_reset(wave_buckets_);
       t0 = now_ns();
-      todo.swap(rest);
+      wave_todo_.swap(wave_rest_);
     }
   }
+  bucket_reset(phase_buckets_);
   if (cfg_.time_activities) stats_.scheduling.add(now_ns() - t0);
 }
 
@@ -318,19 +419,57 @@ void Engine::schedule_agenda(std::vector<std::uint32_t>& pending) {
   // DyNet's agenda scheduler: maintain the set of ready nodes, repeatedly
   // launch the largest same-signature class. All bookkeeping is charged to
   // scheduling time — this is the dynamic analysis cost the paper's static
-  // scheduling avoids.
+  // scheduling avoids. The bookkeeping itself runs over engine-owned
+  // scratch (stamped per-node arrays + a consumers CSR + a sorted ready
+  // vector), so even this baseline does zero steady-state heap allocation;
+  // what it keeps paying is the per-trigger dependency analysis time.
   std::int64_t sched_ns = 0;
   std::int64_t t0 = now_ns();
+  const std::size_t n = pending.size();
 
-  std::map<std::uint32_t, int> remaining;  // pending id → unexecuted input count
-  std::map<std::uint32_t, std::vector<std::uint32_t>> consumers;
-  for (const std::uint32_t id : pending) remaining[id] = 0;
+  // Pending membership + dense rank per node id. Stamps avoid O(table)
+  // clears; rank indexes the per-pending arrays below.
+  ++agenda_gen_;
+  scratch_reserve(agenda_stamp_, nodes_.size());
+  agenda_stamp_.resize(nodes_.size(), 0);
+  scratch_reserve(agenda_rank_, nodes_.size());
+  agenda_rank_.resize(nodes_.size());
+  // Ascending-id order reproduces the old std::map's initial ready fill.
+  scratch_reserve(agenda_order_, n);
+  agenda_order_.assign(pending.begin(), pending.end());
+  std::sort(agenda_order_.begin(), agenda_order_.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    agenda_stamp_[agenda_order_[i]] = agenda_gen_;
+    agenda_rank_[agenda_order_[i]] = static_cast<std::uint32_t>(i);
+  }
+  const auto is_pending = [&](std::uint32_t id) {
+    return id < agenda_stamp_.size() && agenda_stamp_[id] == agenda_gen_;
+  };
+
+  // remaining[rank] = unexecuted input count; consumers as a CSR over the
+  // pending set, filled in recording order (the old per-input push order).
+  scratch_reserve(agenda_remaining_, n);
+  agenda_remaining_.assign(n, 0);
+  scratch_reserve(agenda_cons_off_, n + 1);
+  agenda_cons_off_.assign(n + 1, 0);
   for (const std::uint32_t id : pending) {
     for (const TRef in : nodes_[id].ins) {
-      if (node(in).data == nullptr && remaining.count(in.id)) {
-        ++remaining[id];
-        consumers[in.id].push_back(id);
+      if (node(in).data == nullptr && is_pending(in.id)) {
+        ++agenda_remaining_[agenda_rank_[id]];
+        ++agenda_cons_off_[agenda_rank_[in.id] + 1];
       }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) agenda_cons_off_[i + 1] += agenda_cons_off_[i];
+  const std::size_t edges = agenda_cons_off_[n];
+  scratch_reserve(agenda_cons_, edges);
+  agenda_cons_.resize(edges);
+  scratch_reserve(agenda_cons_cur_, n);
+  agenda_cons_cur_.assign(agenda_cons_off_.begin(), agenda_cons_off_.end() - 1);
+  for (const std::uint32_t id : pending) {
+    for (const TRef in : nodes_[id].ins) {
+      if (node(in).data == nullptr && is_pending(in.id))
+        agenda_cons_[agenda_cons_cur_[agenda_rank_[in.id]]++] = id;
     }
   }
 
@@ -338,34 +477,74 @@ void Engine::schedule_agenda(std::vector<std::uint32_t>& pending) {
   // not shape-keyed (DyNet's default batches matmuls only per shared
   // parameter — MV-RNN's per-node matrices then never batch, Table 7).
   auto signature = [&](std::uint32_t id) -> std::uint64_t {
-    const Node& n = nodes_[id];
-    const OpKind op = registry_.kernel(n.kernel_id).op;
-    std::uint64_t sig = static_cast<std::uint64_t>(n.kernel_id) << 32;
-    if (!cfg_.shape_keyed_batching && matmul_family(op) && n.ins.size() >= 2)
-      sig |= n.ins[1].id;
+    const Node& nd = nodes_[id];
+    const OpKind op = registry_.kernel(nd.kernel_id).op;
+    std::uint64_t sig = static_cast<std::uint64_t>(nd.kernel_id) << 32;
+    if (!cfg_.shape_keyed_batching && matmul_family(op) && nd.ins.size() >= 2)
+      sig |= nd.ins[1].id;
     return sig;
   };
 
-  std::map<std::uint64_t, std::vector<std::uint32_t>> ready;
-  for (const auto& [id, cnt] : remaining)
-    if (cnt == 0) ready[signature(id)].push_back(id);
+  // Ready classes kept sig-ascending (the old map iteration order); lists
+  // come from a reusable pool.
+  ready_classes_.clear();
+  ready_free_.clear();
+  scratch_reserve(ready_free_, ready_pool_.size());
+  for (std::size_t i = ready_pool_.size(); i > 0; --i)
+    ready_free_.push_back(static_cast<std::uint32_t>(i - 1));
+  const auto ready_push = [&](std::uint32_t id) {
+    const std::uint64_t sig = signature(id);
+    auto it = std::lower_bound(
+        ready_classes_.begin(), ready_classes_.end(), sig,
+        [](const ReadyClass& rc, std::uint64_t s) { return rc.sig < s; });
+    if (it == ready_classes_.end() || it->sig != sig) {
+      std::uint32_t slot;
+      if (ready_free_.empty()) {
+        scratch_reserve(ready_pool_, ready_pool_.size() + 1);
+        ready_pool_.emplace_back();
+        slot = static_cast<std::uint32_t>(ready_pool_.size() - 1);
+      } else {
+        slot = ready_free_.back();
+        ready_free_.pop_back();
+      }
+      const std::size_t pos = static_cast<std::size_t>(it - ready_classes_.begin());
+      scratch_reserve(ready_classes_, ready_classes_.size() + 1);  // invalidates it
+      it = ready_classes_.insert(ready_classes_.begin() + static_cast<std::ptrdiff_t>(pos),
+                                 ReadyClass{sig, slot});
+    }
+    std::vector<std::uint32_t>& lst = ready_pool_[it->list];
+    scratch_reserve(lst, lst.size() + 1);
+    lst.push_back(id);
+  };
+  for (const std::uint32_t id : agenda_order_)
+    if (agenda_remaining_[agenda_rank_[id]] == 0) ready_push(id);
 
-  while (!ready.empty()) {
-    auto best = ready.begin();
-    for (auto it = ready.begin(); it != ready.end(); ++it)
-      if (it->second.size() > best->second.size()) best = it;
-    std::vector<std::uint32_t> ids = std::move(best->second);
-    ready.erase(best);
+  while (!ready_classes_.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready_classes_.size(); ++i)
+      if (ready_pool_[ready_classes_[i].list].size() >
+          ready_pool_[ready_classes_[best].list].size())
+        best = i;
+    const std::uint32_t slot = ready_classes_[best].list;
+    ready_classes_.erase(ready_classes_.begin() + static_cast<std::ptrdiff_t>(best));
+    // Swap the class out: ready_push below may grow the pool, and the
+    // executing batch must not dangle into it.
+    agenda_batch_.clear();
+    agenda_batch_.swap(ready_pool_[slot]);
+    scratch_reserve(ready_free_, ready_free_.size() + 1);
+    ready_free_.push_back(slot);
 
     sched_ns += now_ns() - t0;
-    execute_batch(nodes_[ids[0]].kernel_id, ids, /*merge_launch=*/false);
+    execute_batch(nodes_[agenda_batch_[0]].kernel_id, agenda_batch_,
+                  /*merge_launch=*/false);
     t0 = now_ns();
 
-    for (const std::uint32_t id : ids) {
-      auto it = consumers.find(id);
-      if (it == consumers.end()) continue;
-      for (const std::uint32_t c : it->second)
-        if (--remaining[c] == 0) ready[signature(c)].push_back(c);
+    for (const std::uint32_t id : agenda_batch_) {
+      const std::uint32_t r = agenda_rank_[id];
+      for (std::uint32_t e = agenda_cons_off_[r]; e < agenda_cons_off_[r + 1]; ++e) {
+        const std::uint32_t c = agenda_cons_[e];
+        if (--agenda_remaining_[agenda_rank_[c]] == 0) ready_push(c);
+      }
     }
   }
   sched_ns += now_ns() - t0;
@@ -389,16 +568,19 @@ void Engine::trigger_execution() {
   }
   if (pending_.empty()) return;
   in_trigger_ = true;
-  std::vector<std::uint32_t> pend;
-  pend.swap(pending_);
+  // Double-buffer the pending list: the swapped-out buffer is reused next
+  // trigger, so the swap itself never allocates in steady state.
+  trigger_scratch_.clear();
+  trigger_scratch_.swap(pending_);
   try {
     if (cfg_.scheduler == SchedulerKind::kAgenda) {
-      schedule_agenda(pend);
+      schedule_agenda(trigger_scratch_);
     } else {
-      schedule_depth(pend);
+      schedule_depth(trigger_scratch_);
     }
   } catch (...) {
     in_trigger_ = false;  // keep the engine usable after a caught OOM
+    reset_sched_scratch();
     throw;
   }
   in_trigger_ = false;
@@ -411,6 +593,174 @@ void Engine::trigger_execution() {
   }
 }
 
+float* Engine::stage_gather(const std::vector<std::uint32_t>& ids, int operand,
+                            std::int64_t step) {
+  const std::size_t n = ids.size();
+  ScopedTimer timer(stats_.gather_copy, cfg_.time_activities);
+  float* staged = arena_.alloc_raw(static_cast<std::int64_t>(n) * step);
+  for (std::size_t i = 0; i < n; ++i)
+    std::memcpy(staged + static_cast<std::int64_t>(i) * step,
+                node(nodes_[ids[i]].ins[static_cast<std::size_t>(operand)]).data,
+                sizeof(float) * static_cast<std::size_t>(step));
+  stats_.gather_bytes += static_cast<long long>(n) * step *
+                         static_cast<long long>(sizeof(float));
+  charge_bytes(static_cast<std::size_t>(n) * static_cast<std::size_t>(step) *
+               sizeof(float));
+  return staged;
+}
+
+// A batch of row-vector matmul-family ops sharing their parameter operand
+// (first-argument keying, paper §4) runs as ONE stacked (n×k)·W call when
+// the rows sit back-to-back in the arena — or after one explicit staging
+// gather when they do not and gather fusion is off (DyNet-style). Rows are
+// independent in every matmul variant, so the stacked call is bitwise-
+// identical to n per-op calls.
+bool Engine::try_execute_stacked(const Kernel& k, const std::vector<std::uint32_t>& ids,
+                                 float* out_base) {
+  const std::size_t n = ids.size();
+  const Node& head = nodes_[ids[0]];
+  if (head.ins.size() < 2) return false;
+  const TRef w = head.ins[1];
+  const std::int64_t kdim = node(head.ins[0]).shape.numel();
+  for (const std::uint32_t id : ids) {
+    const Node& nd = nodes_[id];
+    if (nd.ins[1].id != w.id || node(nd.ins[0]).shape.ndim != 1 ||
+        node(nd.ins[0]).shape.numel() != kdim)
+      return false;
+  }
+  const float* first = node(head.ins[0]).data;
+  bool contiguous = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (node(nodes_[ids[i]].ins[0]).data != first + static_cast<std::int64_t>(i) * kdim) {
+      contiguous = false;
+      break;
+    }
+  }
+  const float* x_stacked = nullptr;
+  if (contiguous) {
+    x_stacked = first;
+  } else if (!cfg_.gather_fusion) {
+    x_stacked = stage_gather(ids, /*operand=*/0, kdim);
+  }
+  if (x_stacked == nullptr) return false;
+  ScopedTimer timer(stats_.kernel_exec, cfg_.time_activities);
+  const Shape xs(static_cast<int>(n), static_cast<int>(kdim));
+  const Shape os(static_cast<int>(n), static_cast<int>(head.shape.numel()));
+  const float* ins[2] = {x_stacked, node(w).data};
+  const Shape shapes[2] = {xs, node(w).shape};
+  run_op(k.op, k.variant, ins, shapes, out_base, os, k.attr);
+  return true;
+}
+
+// Collapses a batch of n same-kernel elementwise/pointwise ops into ONE
+// run_op over the concatenation of their operands. Legal when per-operand
+// storage is contiguous across the batch — outputs always are (allocated
+// back-to-back below), and so are inputs produced by a single earlier
+// batch, the iterative-model common case. Broadcast/bias operands must
+// instead be the SAME tensor for every member. Every covered kind applies
+// a pure per-element or per-row function, so the flat call is bitwise-
+// identical to n per-op calls at any variant. Scattered inputs fall back
+// per-op — or are staged by an explicit gather first when gather fusion is
+// off, mirroring the stacked-matmul discipline.
+bool Engine::try_execute_flat(const Kernel& k, const std::vector<std::uint32_t>& ids,
+                              float* out_base) {
+  const std::size_t n = ids.size();
+  const Node& head = nodes_[ids[0]];
+  const int arity = static_cast<int>(head.ins.size());
+  if (arity > 4) return false;
+  const Shape& os = head.shape;
+  if (os.ndim > 2) return false;
+
+  Shape ishape[4];
+  const float* base[4];
+  std::int64_t step[4];
+  bool contig[4], shared[4];
+  for (int j = 0; j < arity; ++j) {
+    const Node& src = node(head.ins[j]);
+    if (src.shape.ndim > 2) return false;
+    ishape[j] = src.shape;
+    base[j] = src.data;
+    step[j] = src.shape.numel();
+    contig[j] = shared[j] = true;
+  }
+  // Uniform shapes + operand storage classes, one pass over the batch.
+  for (std::size_t i = 1; i < n; ++i) {
+    const Node& nd = nodes_[ids[i]];
+    if (static_cast<int>(nd.ins.size()) != arity || nd.shape != os) return false;
+    for (int j = 0; j < arity; ++j) {
+      const Node& src = node(nd.ins[j]);
+      if (src.shape != ishape[j]) return false;
+      if (src.data != base[j] + static_cast<std::int64_t>(i) * step[j]) contig[j] = false;
+      if (src.data != base[j]) shared[j] = false;
+    }
+  }
+
+  // Required storage discipline per operand position. kShared positions
+  // carry broadcast semantics (bias rows, shared cell state layouts) and
+  // cannot be staged; kContig positions can.
+  enum Need : unsigned char { kContig, kShared };
+  Need need[4] = {kContig, kContig, kContig, kContig};
+  switch (k.op) {
+    case OpKind::kTanh:
+    case OpKind::kSigmoid:
+    case OpKind::kRelu:
+    case OpKind::kScale:
+    case OpKind::kSoftmax:
+    case OpKind::kFma2:
+    case OpKind::kMulTanh:
+    case OpKind::kLstmNewC:
+    case OpKind::kLstmNewH:
+    case OpKind::kGruPoint:
+      break;  // every operand concatenates
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+      // Same-shape second operand concatenates like the first; a shared
+      // one-row operand flattens as a row broadcast instead. A source-level
+      // broadcast (bias) must be the same row for the whole batch.
+      if (ishape[1] == ishape[0]) {
+        if (!contig[1] && shared[1] && ishape[0].rows() == 1) need[1] = kShared;
+      } else {
+        need[1] = kShared;
+      }
+      break;
+    case OpKind::kAddBiasTanh:
+    case OpKind::kAddBiasSigmoid:
+      need[2] = kShared;  // the bias row
+      break;
+    case OpKind::kZeros:
+      break;  // no operands: one flat zero fill
+    default:
+      return false;  // matmul family, concat, whole-batch reductions
+  }
+
+  bool stage[4] = {false, false, false, false};
+  for (int j = 0; j < arity; ++j) {
+    if (need[j] == kShared) {
+      if (!shared[j]) return false;
+    } else if (!contig[j]) {
+      if (cfg_.gather_fusion) return false;  // per-op path reads scattered inputs in place
+      stage[j] = true;
+    }
+  }
+
+  // Concatenating n (r, c) operands yields one (n*r, c) operand; run_op's
+  // row-structured kinds then see the same rows in the same order.
+  const auto flat = [&](const Shape& s) {
+    return Shape(static_cast<int>(n) * s.rows(), s.cols());
+  };
+  const float* fins[4];
+  Shape fshapes[4];
+  for (int j = 0; j < arity; ++j) {
+    fshapes[j] = need[j] == kShared ? ishape[j] : flat(ishape[j]);
+    fins[j] = stage[j] ? stage_gather(ids, j, step[j]) : base[j];
+  }
+
+  ScopedTimer timer(stats_.kernel_exec, cfg_.time_activities);
+  run_op(k.op, k.variant, fins, fshapes, out_base, flat(os), k.attr);
+  return true;
+}
+
 void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
                            bool merge_launch) {
   const Kernel& k = registry_.kernel(kernel_id);
@@ -421,7 +771,8 @@ void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
 
   // Allocate every output of the batch back-to-back: downstream batches
   // over these results see contiguous inputs (the iterative-model fast path
-  // in ablation_gather.cpp). Persistent nodes (cached constants under
+  // in ablation_gather.cpp), which is also what arms the flat/stacked
+  // single-call paths below. Persistent nodes (cached constants under
   // recycling) land in the persistent arena instead — a batch is uniform
   // here because persistence is decided per kernel (zero-arity + cache).
   std::int64_t total = 0;
@@ -435,11 +786,13 @@ void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
   charge_bytes(static_cast<std::size_t>(total) * sizeof(float));
 
   std::int64_t off = 0;
-  std::vector<float*> outs(n);
+  outs_scratch_.clear();
+  scratch_reserve(outs_scratch_, n);
   for (std::size_t i = 0; i < n; ++i) {
-    outs[i] = out_base + off;
+    outs_scratch_.push_back(out_base + off);
     off += nodes_[ids[i]].shape.numel();
   }
+  const std::vector<float*>& outs = outs_scratch_;
 
 #ifndef NDEBUG
   // Scheduler correctness invariant (DESIGN.md §5).
@@ -447,60 +800,24 @@ void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
     for (const TRef in : nodes_[id].ins) assert(node(in).data != nullptr && "batch ordering bug");
 #endif
 
-  // Dense fast path: a batch of row-vector denses sharing one weight is a
-  // single stacked (n×k)·Wᵀ call when the rows are contiguous — or after an
-  // explicit staging gather when they are not and fusion is off.
-  bool stacked = false;
-  if (k.op == OpKind::kDense && n > 1) {
-    bool uniform = true;
-    const TRef w = nodes_[ids[0]].ins[1];
-    const int kdim = static_cast<int>(node(nodes_[ids[0]].ins[0]).shape.numel());
-    for (const std::uint32_t id : ids) {
-      const Node& nd = nodes_[id];
-      if (nd.ins[1].id != w.id || node(nd.ins[0]).shape.ndim != 1 ||
-          node(nd.ins[0]).shape.numel() != kdim) {
-        uniform = false;
-        break;
+  // Single-call fast paths: one stacked matmul over shared-parameter rows,
+  // or one flat elementwise call over the whole batch. Cortex's forced-
+  // staging mode keeps paying its per-op matmul copies (only the original
+  // dense stacking applies there), so the baseline's cost model is intact.
+  bool fused = false;
+  if (n > 1) {
+    if (matmul_family(k.op)) {
+      if (cfg_.stage_all_amp == 0 || k.op == OpKind::kDense) {
+        fused = try_execute_stacked(k, ids, out_base);
+        stats_.stacked_batches += fused ? 1 : 0;
       }
-    }
-    if (uniform) {
-      const float* first = node(nodes_[ids[0]].ins[0]).data;
-      bool contiguous = true;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (node(nodes_[ids[i]].ins[0]).data != first + static_cast<std::int64_t>(i) * kdim) {
-          contiguous = false;
-          break;
-        }
-      }
-      const float* x_stacked = nullptr;
-      if (contiguous) {
-        x_stacked = first;
-      } else if (!cfg_.gather_fusion) {
-        // Explicit gather: stage scattered rows into a contiguous buffer
-        // (DyNet-style), charging copy time and bytes.
-        ScopedTimer timer(stats_.gather_copy, cfg_.time_activities);
-        float* staged = arena_.alloc_raw(static_cast<std::int64_t>(n) * kdim);
-        for (std::size_t i = 0; i < n; ++i)
-          std::memcpy(staged + static_cast<std::int64_t>(i) * kdim,
-                      node(nodes_[ids[i]].ins[0]).data, sizeof(float) * kdim);
-        stats_.gather_bytes += static_cast<long long>(n) * kdim * sizeof(float);
-        charge_bytes(static_cast<std::size_t>(n) * kdim * sizeof(float));
-        x_stacked = staged;
-      }
-      if (x_stacked != nullptr) {
-        ScopedTimer timer(stats_.kernel_exec, cfg_.time_activities);
-        const Shape xs(static_cast<int>(n), kdim);
-        const Shape ws = node(w).shape;
-        const Shape os(static_cast<int>(n), static_cast<int>(nodes_[ids[0]].shape.numel()));
-        const float* ins[2] = {x_stacked, node(w).data};
-        const Shape shapes[2] = {xs, ws};
-        run_op(k.op, k.variant, ins, shapes, out_base, os, k.attr);
-        stacked = true;
-      }
+    } else if (cfg_.fuse_elementwise) {
+      fused = try_execute_flat(k, ids, out_base);
+      stats_.flat_batches += fused ? 1 : 0;
     }
   }
 
-  if (!stacked) {
+  if (!fused) {
     ScopedTimer timer(stats_.kernel_exec, cfg_.time_activities);
     for (std::size_t i = 0; i < n; ++i) {
       Node& nd = nodes_[ids[i]];

@@ -117,6 +117,9 @@ void merge_stats(ActivityStats& into, const ActivityStats& from) {
   into.launch_overhead.add(from.launch_overhead.ns);
   into.kernel_launches += from.kernel_launches;
   into.gather_bytes += from.gather_bytes;
+  into.flat_batches += from.flat_batches;
+  into.stacked_batches += from.stacked_batches;
+  into.scheduling_allocs += from.scheduling_allocs;
 }
 
 void merge_mem(Engine::MemoryStats& into, const Engine::MemoryStats& from) {
@@ -127,6 +130,7 @@ void merge_mem(Engine::MemoryStats& into, const Engine::MemoryStats& from) {
   into.arena_active_bytes += from.arena_active_bytes;
   into.arena_high_water_bytes += from.arena_high_water_bytes;
   into.arena_pages_recycled += from.arena_pages_recycled;
+  into.leaked_slots += from.leaked_slots;
   into.persist_arena_high_water_bytes += from.persist_arena_high_water_bytes;
 }
 

@@ -1,6 +1,9 @@
 // The engine's batching invariant: same-signature ops recorded by N
 // instances collapse into one kernel launch (and eager mode into N), with
 // numerics identical either way.
+#include <tuple>
+#include <utility>
+
 #include "engine/engine.h"
 #include "support/rng.h"
 #include "test_util.h"
@@ -116,6 +119,275 @@ void test_const_reuse() {
   CHECK(c.id != d.id);  // DyNet-style duplicate constants
 }
 
+// --- flat elementwise + stacked matmul execution (ISSUE 5 tentpole) --------
+
+// The dense → tanh/sigmoid → mul → add(shared bias) ladder: one batch per
+// (depth, kernel), every elementwise batch reading the previous batch's
+// back-to-back outputs — the contiguous common case the flat path targets.
+struct LadderFixture {
+  KernelRegistry reg;
+  TensorPool pool;
+  Rng rng{11};
+  int k_dense, k_tanh, k_sig, k_mul, k_add;
+  Tensor w, bias;
+  std::vector<Tensor> xs;
+
+  explicit LadderFixture(int n_instances) {
+    const Shape x(8), ww(8, 8);
+    const Shape reps2[2] = {x, ww};
+    const Shape repsb[2] = {x, x};
+    k_dense = reg.add("l.dense", OpKind::kDense, 0, 2, reps2);
+    k_tanh = reg.add("l.tanh", OpKind::kTanh, 0, 1, reps2);
+    k_sig = reg.add("l.sig", OpKind::kSigmoid, 0, 1, reps2);
+    k_mul = reg.add("l.mul", OpKind::kMul, 0, 2, repsb);
+    k_add = reg.add("l.add", OpKind::kAdd, 0, 2, repsb);
+    w = pool.alloc_random(Shape(8, 8), rng, 0.5f);
+    bias = pool.alloc_random(RowVec(8), rng, 0.3f);
+    // Back-to-back allocations: the dense batch's first-arg rows are
+    // contiguous, so the stacked path fires too.
+    for (int i = 0; i < n_instances; ++i)
+      xs.push_back(pool.alloc_random(RowVec(8), rng, 1.0f));
+  }
+
+  // Records the ladder for every instance and returns the flattened outputs
+  // after one trigger.
+  std::vector<float> run(Engine& eng) {
+    const TRef wref = eng.add_concrete(w.view());
+    const TRef bref = eng.add_concrete(bias.view());
+    std::vector<TRef> outs;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      InstCtx ctx{static_cast<int>(i)};
+      const TRef xr = eng.add_concrete(xs[i].view());
+      const TRef dins[2] = {xr, wref};
+      const TRef d = eng.add_op(k_dense, dins, 2, ctx, 0);
+      const TRef t = eng.add_op(k_tanh, &d, 1, ctx, 0);
+      const TRef s = eng.add_op(k_sig, &d, 1, ctx, 0);
+      const TRef mins[2] = {t, s};
+      const TRef m = eng.add_op(k_mul, mins, 2, ctx, 0);
+      const TRef ains[2] = {m, bref};
+      outs.push_back(eng.add_op(k_add, ains, 2, ctx, 0));
+    }
+    eng.trigger_execution();
+    std::vector<float> flat;
+    for (const TRef r : outs) {
+      const Tensor t = eng.force(r);
+      flat.insert(flat.end(), t.data, t.data + t.numel());
+    }
+    return flat;
+  }
+};
+
+// Contiguous batches: the flat path fires (4 elementwise batches + 1
+// stacked dense), kernel_launches are EXACTLY the per-op path's counts, and
+// outputs are bitwise-identical across flat, per-op, and eager execution.
+void test_flat_elementwise_bitwise_parity() {
+  constexpr int kN = 16;
+  std::vector<float> flat_out, perop_out, eager_out;
+  long long flat_launches = 0, perop_launches = 0, eager_launches = 0;
+  {
+    LadderFixture f(kN);
+    EngineConfig cfg;  // fuse_elementwise defaults on
+    Engine eng(f.reg, cfg);
+    flat_out = f.run(eng);
+    flat_launches = eng.stats().kernel_launches;
+    CHECK_EQ(eng.stats().flat_batches, 4);     // tanh, sigmoid, mul, add
+    CHECK_EQ(eng.stats().stacked_batches, 1);  // the dense batch
+    CHECK_EQ(eng.stats().gather_bytes, 0);     // contiguous: nothing staged
+  }
+  {
+    LadderFixture f(kN);
+    EngineConfig cfg;
+    cfg.fuse_elementwise = false;
+    Engine eng(f.reg, cfg);
+    perop_out = f.run(eng);
+    perop_launches = eng.stats().kernel_launches;
+    CHECK_EQ(eng.stats().flat_batches, 0);
+  }
+  {
+    LadderFixture f(kN);
+    EngineConfig cfg;
+    cfg.lazy = false;  // one launch per op: the op-at-a-time reference
+    Engine eng(f.reg, cfg);
+    eager_out = f.run(eng);
+    eager_launches = eng.stats().kernel_launches;
+  }
+  CHECK_EQ(flat_launches, 5);  // one per (depth, kernel) bucket — unchanged
+  CHECK_EQ(perop_launches, 5);
+  CHECK_EQ(eager_launches, 5ll * kN);
+  CHECK_EQ(flat_out.size(), perop_out.size());
+  CHECK_EQ(flat_out.size(), eager_out.size());
+  for (std::size_t i = 0; i < flat_out.size(); ++i) {
+    CHECK(flat_out[i] == perop_out[i]);  // bitwise, not approximate
+    CHECK(flat_out[i] == eager_out[i]);
+  }
+}
+
+// Scattered inputs: with gather fusion the batch falls back per-op (no
+// copies); with explicit gathers it stages one contiguous buffer (counted
+// bytes) and still runs flat. All three agree bitwise.
+void test_flat_scattered_fallback() {
+  constexpr int kN = 8;
+  Rng rng{23};
+  TensorPool pool;
+  KernelRegistry reg;
+  const Shape x(8);
+  const int k_tanh = reg.add("s.tanh", OpKind::kTanh, 0, 1, &x);
+  std::vector<Tensor> xs;
+  for (int i = 0; i < kN; ++i) {
+    xs.push_back(pool.alloc_random(RowVec(8), rng, 1.0f));
+    pool.alloc(RowVec(3));  // padding: make consecutive inputs non-contiguous
+  }
+  const auto run = [&](bool gather_fusion, bool fuse) {
+    EngineConfig cfg;
+    cfg.gather_fusion = gather_fusion;
+    cfg.fuse_elementwise = fuse;
+    Engine eng(reg, cfg);
+    std::vector<TRef> outs;
+    for (int i = 0; i < kN; ++i) {
+      InstCtx ctx{i};
+      const TRef xr = eng.add_concrete(xs[static_cast<std::size_t>(i)].view());
+      outs.push_back(eng.add_op(k_tanh, &xr, 1, ctx, 0));
+    }
+    eng.trigger_execution();
+    std::vector<float> flat;
+    for (const TRef r : outs) {
+      const Tensor t = eng.force(r);
+      flat.insert(flat.end(), t.data, t.data + t.numel());
+    }
+    return std::make_tuple(flat, eng.stats().flat_batches, eng.stats().gather_bytes,
+                           eng.stats().kernel_launches);
+  };
+
+  const auto [fused_out, fused_flat, fused_bytes, fused_launches] = run(true, true);
+  CHECK_EQ(fused_flat, 0);  // scattered + fusion: per-op fallback, in place
+  CHECK_EQ(fused_bytes, 0);
+  const auto [staged_out, staged_flat, staged_bytes, staged_launches] = run(false, true);
+  CHECK_EQ(staged_flat, 1);  // explicit mode: stage once, run flat
+  CHECK_EQ(staged_bytes, kN * 8ll * static_cast<long long>(sizeof(float)));
+  const auto [perop_out, perop_flat, perop_bytes, perop_launches] = run(false, false);
+  CHECK_EQ(perop_flat, 0);
+  CHECK_EQ(perop_bytes, 0);  // elementwise per-op never staged pre-flat either
+  CHECK_EQ(fused_launches, 1);
+  CHECK_EQ(staged_launches, 1);
+  CHECK_EQ(perop_launches, 1);
+  CHECK_EQ(fused_out.size(), staged_out.size());
+  for (std::size_t i = 0; i < fused_out.size(); ++i) {
+    CHECK(fused_out[i] == staged_out[i]);  // bitwise across all three paths
+    CHECK(fused_out[i] == perop_out[i]);
+  }
+}
+
+// Recycling on: slot reuse and epoch reclamation leave the flat path's
+// outputs bitwise-identical to the per-op path, and after warmup the
+// scheduler scratch stops allocating — steady-state triggers are
+// allocation-free (the scheduling_allocs plateau).
+void test_flat_recycling_parity_and_alloc_plateau() {
+  constexpr int kRounds = 6;
+  LadderFixture fa(8), fb(8);
+  EngineConfig on;
+  on.recycle = true;
+  EngineConfig off;
+  off.recycle = true;
+  off.fuse_elementwise = false;
+  Engine ea(fa.reg, on), eb(fb.reg, off);
+
+  const TRef wa = ea.add_concrete(fa.w.view()), ba = ea.add_concrete(fa.bias.view());
+  const TRef wb = eb.add_concrete(fb.w.view()), bb = eb.add_concrete(fb.bias.view());
+  std::vector<TRef> xa, xb;
+  for (std::size_t i = 0; i < fa.xs.size(); ++i) {
+    xa.push_back(ea.add_concrete(fa.xs[i].view()));
+    xb.push_back(eb.add_concrete(fb.xs[i].view()));
+  }
+
+  const auto round = [&](Engine& eng, const LadderFixture& f, const std::vector<TRef>& xs,
+                         TRef wref, TRef bref, int request) {
+    eng.begin_request(request);
+    InstCtx ctx{request};
+    std::vector<TRef> outs;
+    for (const TRef xr : xs) {
+      const TRef dins[2] = {xr, wref};
+      const TRef d = eng.add_op(f.k_dense, dins, 2, ctx, 0);
+      const TRef t = eng.add_op(f.k_tanh, &d, 1, ctx, 0);
+      const TRef s = eng.add_op(f.k_sig, &d, 1, ctx, 0);
+      const TRef mins[2] = {t, s};
+      const TRef m = eng.add_op(f.k_mul, mins, 2, ctx, 0);
+      const TRef ains[2] = {m, bref};
+      outs.push_back(eng.add_op(f.k_add, ains, 2, ctx, 0));
+    }
+    eng.trigger_execution();
+    std::vector<float> flat;
+    for (const TRef r : outs) {
+      const Tensor t = eng.force(r);
+      flat.insert(flat.end(), t.data, t.data + t.numel());
+    }
+    eng.retire_request(request);
+    return flat;
+  };
+
+  long long allocs_prev = -1;
+  for (int r = 0; r < kRounds; ++r) {
+    const std::vector<float> a = round(ea, fa, xa, wa, ba, r);
+    const std::vector<float> b = round(eb, fb, xb, wb, bb, r);
+    CHECK_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) CHECK(a[i] == b[i]);  // bitwise
+    if (r >= kRounds - 2) {
+      // Last two identical rounds: zero new scratch growth.
+      if (allocs_prev >= 0) CHECK_EQ(ea.stats().scheduling_allocs, allocs_prev);
+      allocs_prev = ea.stats().scheduling_allocs;
+    }
+  }
+  CHECK(ea.stats().flat_batches > 0);
+  CHECK(ea.memory().nodes_recycled > 0);
+  CHECK_EQ(ea.memory().leaked_slots, 0);
+}
+
+// The stacked fast path covers the whole matmul family now: a batch of
+// row-vector matmuls sharing the parameter operand is ONE launch and ONE
+// stacked call, bitwise-identical to eager per-op execution.
+void test_stacked_matmul_family() {
+  for (const OpKind op : {OpKind::kMatMul, OpKind::kMatMulBT}) {
+    constexpr int kN = 12;
+    Rng rng{31};
+    TensorPool pool;
+    KernelRegistry reg;
+    const Shape x(8), b(8, 8);
+    const Shape reps[2] = {x, b};
+    const int kid = reg.add("m.mm", op, 0, 2, reps);
+    const Tensor bmat = pool.alloc_random(Shape(8, 8), rng, 0.4f);
+    std::vector<Tensor> xs;
+    for (int i = 0; i < kN; ++i) xs.push_back(pool.alloc_random(RowVec(8), rng, 1.0f));
+
+    const auto run = [&](bool lazy) {
+      EngineConfig cfg;
+      cfg.lazy = lazy;
+      Engine eng(reg, cfg);
+      const TRef bref = eng.add_concrete(bmat.view());
+      std::vector<TRef> outs;
+      for (int i = 0; i < kN; ++i) {
+        InstCtx ctx{i};
+        const TRef xr = eng.add_concrete(xs[static_cast<std::size_t>(i)].view());
+        const TRef ins[2] = {xr, bref};
+        outs.push_back(eng.add_op(kid, ins, 2, ctx, 0));
+      }
+      eng.trigger_execution();
+      std::vector<float> flat;
+      for (const TRef r : outs) {
+        const Tensor t = eng.force(r);
+        flat.insert(flat.end(), t.data, t.data + t.numel());
+      }
+      return std::make_pair(flat, eng.stats());
+    };
+
+    const auto [batched, bstats] = run(true);
+    const auto [eager, estats] = run(false);
+    CHECK_EQ(bstats.kernel_launches, 1);
+    CHECK_EQ(bstats.stacked_batches, 1);
+    CHECK_EQ(estats.kernel_launches, kN);
+    CHECK_EQ(batched.size(), eager.size());
+    for (std::size_t i = 0; i < batched.size(); ++i) CHECK(batched[i] == eager[i]);
+  }
+}
+
 void test_memory_cap_oom() {
   Fixture f;
   EngineConfig cfg;
@@ -139,6 +411,10 @@ int main() {
   test_same_signature_collapses();
   test_eager_launches_per_op();
   test_batched_matches_unbatched();
+  test_flat_elementwise_bitwise_parity();
+  test_flat_scattered_fallback();
+  test_flat_recycling_parity_and_alloc_plateau();
+  test_stacked_matmul_family();
   test_const_reuse();
   test_memory_cap_oom();
   return acrobat::test::finish("test_engine_batching");

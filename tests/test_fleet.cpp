@@ -121,6 +121,60 @@ void test_fleet_parity_with_solo_serve() {
   }
 }
 
+// Shape-keyed kernel dedupe (ROADMAP item / ISSUE 5): kernels that agree on
+// (op, attr, arity, representative shapes) but were registered under
+// different model prefixes — BiRNN's fwd/bwd GRU cells, the two models'
+// zero-state constants — collapse into one merged-registry entry, so their
+// ops land in the same (depth, kernel) buckets and share launches. The
+// deduped fleet must launch STRICTLY fewer kernels than the name-keyed one
+// on the same trace, with bitwise-identical per-request outputs.
+// Determinism setup (cf. test_serve's recycling parity): all arrivals at
+// t=0 and a deadline policy holding the first trigger until the whole
+// cohort is admitted, so batch composition is fixed across both runs.
+void test_registry_kernel_dedupe() {
+  const int n = 12;
+  const auto build = [&](bool dedupe) {
+    fleet::ModelRegistry reg{passes::PipelineConfig{}, dedupe};
+    reg.add(models::model_by_name("TreeLSTM"), false, dataset_of("TreeLSTM", 6, 11));
+    reg.add(models::model_by_name("BiRNN"), false, dataset_of("BiRNN", 6, 19));
+    reg.prepare();
+    return reg;
+  };
+  const fleet::ModelRegistry on = build(true);
+  const fleet::ModelRegistry off = build(false);
+  CHECK(on.compiled().module.registry.structural_dupes() > 0);
+  CHECK_EQ(off.compiled().module.registry.structural_dupes(), 0);
+  CHECK(on.compiled().module.registry.num_kernels() <
+        off.compiled().module.registry.num_kernels());
+
+  const auto run = [&](const fleet::ModelRegistry& reg) {
+    std::vector<serve::Request> trace = interleaved_trace(n, reg, 0);
+    fleet::FleetOptions fo;
+    fo.collect_outputs = true;
+    fo.policy = no_slo_policy();
+    fo.policy.base.kind = serve::PolicyKind::kDeadline;
+    fo.policy.base.min_batch = n;
+    fo.policy.base.slo_ns = 10'000'000'000;       // never trigger early on SLO
+    fo.policy.base.max_hold_ns = 10'000'000'000;  // hold until the cohort is in
+    return fleet::serve_fleet(reg, trace, fo);
+  };
+  const fleet::FleetResult a = run(on);
+  const fleet::FleetResult b = run(off);
+  CHECK_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ao = a.records[i].output;
+    const auto& bo = b.records[i].output;
+    CHECK_EQ(ao.size(), bo.size());
+    for (std::size_t j = 0; j < ao.size(); ++j) CHECK(ao[j] == bo[j]);  // bitwise
+  }
+  std::printf("dedupe: %zu vs %zu kernels (%lld dupes) | launches %lld vs %lld\n",
+              on.compiled().module.registry.num_kernels(),
+              off.compiled().module.registry.num_kernels(),
+              on.compiled().module.registry.structural_dupes(),
+              a.shards[0].stats.kernel_launches, b.shards[0].stats.kernel_launches);
+  CHECK(a.shards[0].stats.kernel_launches < b.shards[0].stats.kernel_launches);
+}
+
 // (b) Shedding kicks in only past saturation, and never hurts goodput
 // relative to running every blown request anyway.
 void test_shedding_only_past_saturation() {
@@ -355,13 +409,14 @@ void test_fleet_soak_mixed_models() {
   const Engine::MemoryStats& sm = short_res.shards.at(0).mem;
   const Engine::MemoryStats& lm = long_res.shards.at(0).mem;
   std::printf("fleet soak: %d vs %d requests | nodes %zu vs %zu | arenaKB %.0f vs %.0f | "
-              "persistKB %.0f vs %.0f | recycled nodes %lld pages %lld\n",
+              "persistKB %.0f vs %.0f | recycled nodes %lld pages %lld | leaked %lld\n",
               n_short, n, sm.node_table_size, lm.node_table_size,
               static_cast<double>(sm.arena_high_water_bytes) / 1024.0,
               static_cast<double>(lm.arena_high_water_bytes) / 1024.0,
               static_cast<double>(sm.persist_arena_high_water_bytes) / 1024.0,
               static_cast<double>(lm.persist_arena_high_water_bytes) / 1024.0,
-              lm.nodes_recycled, lm.arena_pages_recycled);
+              lm.nodes_recycled, lm.arena_pages_recycled, lm.leaked_slots);
+  CHECK_EQ(lm.leaked_slots, 0);
 
   // The plateau: ~10x the requests, ~same memory — across two models.
   CHECK(lm.node_table_size <= 2 * sm.node_table_size);
@@ -380,6 +435,7 @@ void test_fleet_soak_mixed_models() {
 
 int main() {
   test_fleet_parity_with_solo_serve();
+  test_registry_kernel_dedupe();
   test_shedding_only_past_saturation();
   test_closed_loop();
   test_class_affinity_routing();

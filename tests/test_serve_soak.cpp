@@ -61,15 +61,24 @@ void test_soak_memory_plateau() {
   const Engine::MemoryStats& sm = short_res.shards.at(0).mem;
   const Engine::MemoryStats& lm = long_res.shards.at(0).mem;
   std::printf("soak: %d vs %d requests | nodes %zu vs %zu | arenaKB %.0f vs %.0f | "
-              "recycled nodes %lld pages %lld\n",
+              "recycled nodes %lld pages %lld | leaked slots %lld | sched allocs %lld vs %lld\n",
               n_short, n, sm.node_table_size, lm.node_table_size,
               static_cast<double>(sm.arena_high_water_bytes) / 1024.0,
               static_cast<double>(lm.arena_high_water_bytes) / 1024.0,
-              lm.nodes_recycled, lm.arena_pages_recycled);
+              lm.nodes_recycled, lm.arena_pages_recycled, lm.leaked_slots,
+              short_res.shards.at(0).stats.scheduling_allocs,
+              long_res.shards.at(0).stats.scheduling_allocs);
 
   // The plateau: 10x the requests, ~same memory.
   CHECK(lm.node_table_size <= 2 * sm.node_table_size);
   CHECK(lm.arena_high_water_bytes <= 2 * sm.arena_high_water_bytes);
+  // No request ever retired with pending ops (the Release-mode leak path
+  // retire_request counts instead of hiding).
+  CHECK_EQ(lm.leaked_slots, 0);
+  // Scheduler scratch plateaus with the working set, not the trace: 10x the
+  // requests may not 2x the allocation events (steady state adds zero).
+  CHECK(long_res.shards.at(0).stats.scheduling_allocs <=
+        2 * short_res.shards.at(0).stats.scheduling_allocs);
   // The recycler actually ran, and shutdown drained to the persistent set.
   CHECK(lm.nodes_recycled > 0);
   CHECK(lm.live_nodes < lm.node_table_size);  // drained to the persistent set

@@ -52,6 +52,34 @@ Row acrobat_row(const models::ModelSpec& spec, const models::Dataset& ds,
   return r;
 }
 
+// Schedule memoization row (DESIGN.md §5 "Schedule memoization"): same
+// prepared module as ACROBAT/inline with the trace cache on, run with
+// repeats=3 in one engine and measured on the LAST repetition — rep 1 runs
+// live and also records the shared constants, rep 2 runs live against the
+// post-const trigger structure, rep 3 replays it entirely from the cache.
+// The sched column is therefore the steady-state replay cost: signature
+// build + hash lookup instead of the live grouping pass.
+Row memo_row(const models::ModelSpec& spec, const models::Dataset& ds) {
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+  harness::RunOptions opts = default_opts();
+  opts.time_activities = true;
+  opts.sched_memo = true;
+  opts.repeats = 3;
+  harness::run_acrobat(p, ds, opts);
+  Row r;
+  r.wall_ms = 1e300;
+  for (int i = 0; i < kIters; ++i) {
+    const harness::RunResult rr = harness::run_acrobat(p, ds, opts);
+    if (rr.wall_ms < r.wall_ms) {
+      r.wall_ms = rr.wall_ms;
+      r.sched_ms = rr.stats.scheduling.ms();
+      r.launches = rr.stats.kernel_launches;
+      r.stats = rr.stats;
+    }
+  }
+  return r;
+}
+
 Row dynet_row(const models::ModelSpec& spec, const models::Dataset& ds,
               bool agenda) {
   harness::Prepared p =
@@ -81,26 +109,30 @@ int main() {
   header("Scheduler ablation: inline depth vs dynamic recovery vs DyNet "
          "(batch 64, small)",
          "paper §4.1 / Table 6 scheduling row");
-  std::printf("%-10s | %21s | %21s | %21s | %21s\n", "",
-              "ACROBAT/inline", "ACROBAT/dynamic", "DyNet/agenda",
-              "DyNet/depth");
-  std::printf("%-10s | %7s %6s %6s | %7s %6s %6s | %7s %6s %6s | %7s %6s %6s\n",
+  std::printf("%-10s | %21s | %21s | %21s | %21s | %21s\n", "",
+              "ACROBAT/inline", "ACROBAT/memo", "ACROBAT/dynamic",
+              "DyNet/agenda", "DyNet/depth");
+  std::printf("%-10s | %7s %6s %6s | %7s %6s %6s | %7s %6s %6s | %7s %6s %6s | "
+              "%7s %6s %6s\n",
               "model", "sched", "wall", "launch", "sched", "wall", "launch",
-              "sched", "wall", "launch", "sched", "wall", "launch");
+              "sched", "wall", "launch", "sched", "wall", "launch", "sched",
+              "wall", "launch");
   CounterJson json;
   for (const auto& spec : models::all_models()) {
     const models::Dataset ds = dataset_for(spec, false, 64);
     const Row a = acrobat_row(spec, ds, true);
+    const Row m = memo_row(spec, ds);
     const Row b = acrobat_row(spec, ds, false);
     const Row c = dynet_row(spec, ds, true);
     const Row d = dynet_row(spec, ds, false);
     std::printf(
         "%-10s | %7.3f %6.2f %6lld | %7.3f %6.2f %6lld | %7.3f %6.2f %6lld | "
-        "%7.3f %6.2f %6lld\n",
-        spec.name.c_str(), a.sched_ms, a.wall_ms, a.launches, b.sched_ms,
-        b.wall_ms, b.launches, c.sched_ms, c.wall_ms, c.launches, d.sched_ms,
-        d.wall_ms, d.launches);
+        "%7.3f %6.2f %6lld | %7.3f %6.2f %6lld\n",
+        spec.name.c_str(), a.sched_ms, a.wall_ms, a.launches, m.sched_ms,
+        m.wall_ms, m.launches, b.sched_ms, b.wall_ms, b.launches, c.sched_ms,
+        c.wall_ms, c.launches, d.sched_ms, d.wall_ms, d.launches);
     json.add(spec.name + "/acrobat_inline", a.stats);
+    json.add(spec.name + "/acrobat_memo", m.stats);
     json.add(spec.name + "/acrobat_dynamic", b.stats);
     json.add(spec.name + "/dynet_agenda", c.stats);
     json.add(spec.name + "/dynet_depth", d.stats);
@@ -109,7 +141,11 @@ int main() {
       "\nexpected: inline depth wins on launch counts (hoisting + fibers:\n"
       "TreeLSTM, DRNN); scheduling time itself is small at ACROBAT's\n"
       "coarsened node counts, and the dynamic-analysis cost inline depth\n"
-      "avoids shows at the DyNet columns' per-op scale.\n");
+      "avoids shows at the DyNet columns' per-op scale. The memo column is\n"
+      "the steady-state replay regime (3rd repetition of the same batch):\n"
+      "identical launches to ACROBAT/inline, scheduling reduced to a hash\n"
+      "lookup — its counters are last-repetition-only, so hits > 0 and\n"
+      "misses == 0 there.\n");
   // The perf trajectory artifact: exact counters + timing context per
   // config, diffed (counters only) against bench/golden/BENCH_engine.json
   // by CI's perf-smoke step.

@@ -114,13 +114,15 @@ class CounterJson {
           "\"gather_ns\": %lld, \"exec_ns\": %lld, \"launch_ns\": %lld, "
           "\"kernel_launches\": %lld, \"gather_bytes\": %lld, "
           "\"flat_batches\": %lld, \"stacked_batches\": %lld, "
-          "\"scheduling_allocs\": %lld}%s\n",
+          "\"scheduling_allocs\": %lld, \"sched_cache_hits\": %lld, "
+          "\"sched_cache_misses\": %lld, \"sched_cache_evictions\": %lld}%s\n",
           rows_[i].config.c_str(), static_cast<long long>(s.dfg_construction.ns),
           static_cast<long long>(s.scheduling.ns),
           static_cast<long long>(s.gather_copy.ns),
           static_cast<long long>(s.kernel_exec.ns),
           static_cast<long long>(s.launch_overhead.ns), s.kernel_launches,
           s.gather_bytes, s.flat_batches, s.stacked_batches, s.scheduling_allocs,
+          s.sched_cache_hits, s.sched_cache_misses, s.sched_cache_evictions,
           i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

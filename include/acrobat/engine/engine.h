@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -49,6 +50,12 @@ struct ActivityStats {
   // this stops advancing — steady-state serving does zero scheduler heap
   // allocation (tests/test_engine_batching.cpp asserts the plateau).
   long long scheduling_allocs = 0;
+  // Schedule memoization (DESIGN.md §5): triggers whose ready-set signature
+  // matched a cached plan and replayed it / ran the live scheduler and
+  // populated the cache / overwrote the least-recently-replayed entry.
+  long long sched_cache_hits = 0;
+  long long sched_cache_misses = 0;
+  long long sched_cache_evictions = 0;
 };
 
 struct EngineStats : ActivityStats {
@@ -91,6 +98,15 @@ struct EngineConfig {
   // exclusive with exec-log autodiff replay (the log is not kept — retired
   // node ids would dangle).
   bool recycle = false;
+  // Schedule memoization (DESIGN.md §5 "Schedule memoization"): cache the
+  // batch plan per ready-set signature and replay it on recurring triggers,
+  // turning scheduling into a hash lookup. Off for the closed-batch benches
+  // (keeps their counters untouched); the serving layers turn it on by
+  // default. Capacity bounds the cache; past it the least-recently-replayed
+  // entry is overwritten in place (fleet-scale key diversity cannot grow
+  // memory unboundedly).
+  bool sched_memo = false;
+  int sched_memo_capacity = 64;
 };
 
 // Identifies the recording program instance (used for diagnostics and for
@@ -152,7 +168,7 @@ class Engine {
   const std::vector<ExecBatch>& exec_log() const { return exec_log_; }
   bool recycling() const { return cfg_.recycle; }
   int kernel_of(TRef r) const;  // -1 for concrete nodes
-  const std::vector<TRef>& inputs_of(TRef r) const;
+  std::span<const TRef> inputs_of(TRef r) const;
   // Node-table slots ever allocated; with recycling this plateaus at peak
   // concurrency while `live_nodes` dips as requests retire.
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -195,9 +211,39 @@ class Engine {
   MemoryStats memory() const;
 
  private:
+  // Node inputs as an inline small-vector: every model op has arity ≤ 4
+  // except concat chains, so recording a node does zero heap allocation on
+  // the common path (the DFG-construction row of Table 6); wider nodes
+  // spill to a heap vector that keeps its capacity across slot reuse.
+  class InsList {
+   public:
+    void assign(const TRef* p, int count) {
+      n_ = count;
+      if (count > kInline)
+        heap_.assign(p, p + count);
+      else
+        for (int i = 0; i < count; ++i) inline_[i] = p[i];
+    }
+    void clear() {
+      n_ = 0;
+      heap_.clear();
+    }
+    std::size_t size() const { return static_cast<std::size_t>(n_); }
+    const TRef* data() const { return n_ > kInline ? heap_.data() : inline_; }
+    const TRef& operator[](std::size_t i) const { return data()[i]; }
+    const TRef* begin() const { return data(); }
+    const TRef* end() const { return data() + n_; }
+
+   private:
+    static constexpr int kInline = 4;
+    TRef inline_[kInline];
+    std::vector<TRef> heap_;
+    int n_ = 0;
+  };
+
   struct Node {
     int kernel_id = -1;  // -1: concrete
-    std::vector<TRef> ins;
+    InsList ins;
     Shape shape;
     const float* data = nullptr;
     int depth = 0;
@@ -258,6 +304,61 @@ class Engine {
   void bucket_reset(BucketScratch& b);
   void reset_sched_scratch();  // exception path: drop partial trigger state
 
+  // --- schedule memoization (DESIGN.md §5 "Schedule memoization") --------
+  // The batch plan a trigger produces — groupings, execution order, merged-
+  // launch flags — is a pure function of the ready set's structural
+  // signature; recurring triggers replay the cached plan straight into
+  // execute_batch. Layout-dependent dispatch (flat/stacked/gather) is NOT
+  // cached: execute_batch re-derives it from live pointers, which is what
+  // makes a replay bitwise-identical to the live scheduler. Storage is
+  // engine-owned, reused across triggers, and every growth event goes
+  // through scratch_reserve so the scheduling_allocs plateau still holds.
+  struct MemoBatch {
+    int kernel_id = -1;
+    bool merge = false;                  // fuse_waves merged-launch flag
+    std::uint32_t begin = 0, count = 0;  // span into the entry's members
+  };
+  struct MemoEntry {
+    std::uint64_t hash = 0;
+    std::uint64_t last_used = 0;         // LRU clock value at last hit/install
+    std::vector<std::uint64_t> sig;      // full signature: hash collisions MISS
+    std::vector<MemoBatch> batches;      // the plan, in execution order
+    std::vector<std::uint32_t> members;  // batch members as ready-set positions
+  };
+  // Runs lookup + replay; false = miss (or unmemoizable trigger), caller
+  // falls back to the live scheduler with recording armed.
+  bool memo_try_replay(const std::vector<std::uint32_t>& pending);
+  // Incremental signature capture: record_op appends the op's key words
+  // while the Node is still cache-hot, so the trigger hot path never walks
+  // the node table to build the key — it hashes a sequential buffer. This
+  // is the paper's thesis applied to the cache itself: key construction
+  // moves out of the per-trigger critical path into recording.
+  void memo_capture_op(std::uint32_t id, const Node& nd, const Kernel& k);
+  void memo_capture_reset();  // new trigger window: next gen, empty key
+  void memo_note_batch(int kernel_id, const std::vector<std::uint32_t>& ids, bool merge);
+  void memo_install();  // after a successful live schedule on a miss
+  void memo_abort() { memo_recording_ = false; }
+
+  std::vector<MemoEntry> memo_cache_;
+  // The accumulating trigger signature: the first memo_sig_n_ words of
+  // memo_sig_, appended per recorded op. The buffer keeps size() ==
+  // capacity() (never shrunk) so capture writes through raw indices after
+  // one reservation; memo_sig_nodes_ cross-checks that every pending node
+  // was captured before a key is trusted.
+  std::vector<std::uint64_t> memo_sig_;
+  std::size_t memo_sig_n_ = 0;
+  std::size_t memo_sig_nodes_ = 0;
+  std::vector<MemoBatch> memo_rec_batches_;  // plan being recorded on a miss
+  std::vector<std::uint32_t> memo_rec_members_;
+  std::vector<std::uint32_t> memo_pos_stamp_, memo_pos_;  // node id → position
+  std::vector<std::uint32_t> memo_order_;       // agenda id-order permutation
+  std::vector<std::uint32_t> memo_replay_ids_;  // positions → live node ids
+  std::uint64_t memo_hash_ = 0;
+  std::uint64_t memo_tick_ = 0;  // LRU clock
+  std::uint32_t memo_gen_ = 1;   // stamp generation for memo_pos_stamp_
+  bool memo_recording_ = false;
+  bool memo_sig_ok_ = true;  // false: current window unmemoizable
+
   const KernelRegistry& registry_;
   EngineConfig cfg_;
   EngineStats stats_;
@@ -279,6 +380,11 @@ class Engine {
   // --- recycling state (empty when cfg_.recycle is off)
   std::vector<std::uint32_t> free_slots_;
   std::unordered_map<int, std::vector<std::uint32_t>> request_nodes_;  // instance → span
+  // Retired requests donate their span vectors here; the next admission
+  // adopts one, so steady-state recording reuses warm capacity instead of
+  // re-growing a fresh vector per request (pool growth counts into
+  // stats_.scheduling_allocs like every other engine-owned buffer).
+  std::vector<std::vector<std::uint32_t>> req_span_pool_;
   std::unordered_map<int, std::uint64_t> live_requests_;  // instance → admission epoch
   std::uint64_t epoch_ = 0;  // advances at the end of every trigger
   std::size_t live_nodes_peak_ = 0;

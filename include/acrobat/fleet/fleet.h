@@ -35,6 +35,10 @@ struct FleetOptions {
   bool collect_outputs = false;
   bool time_activities = false;
   bool recycle = true;
+  // Schedule memoization, as in serve::ServeOptions — on by default. With
+  // a merged (structurally deduped) module the cache keys on post-dedupe
+  // kernel ids, so a recurring cross-model cohort replays one shared plan.
+  bool sched_memo = true;
   // true: one merged engine per shard — every model's fibers share a
   // trigger cadence, node table, and recycling arena (the profitable
   // default). false: one engine per model per shard (isolation fallback);

@@ -79,6 +79,11 @@ struct PolicyConfig {
   std::size_t min_batch = 4;          // kDeadline: stop holding at this width
   std::int64_t slo_ns = 2'000'000;    // kDeadline: per-request latency target
   std::int64_t max_hold_ns = 200'000; // kDeadline: cap on one hold
+  // kDeadline: hard cap on the live pool width (0 = uncapped). With
+  // min_batch == max_admit the policy carves the arrival stream into
+  // fixed-width triggers regardless of queue depth — batch composition
+  // becomes a pure function of arrival order, not of timing.
+  std::size_t max_admit = 0;
 };
 
 std::unique_ptr<BatchPolicy> make_policy(const PolicyConfig& cfg);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 
 namespace acrobat::grad {
 namespace {
@@ -70,7 +71,7 @@ BackwardResult backward(Engine& engine, const KernelRegistry& registry,
       any = true;
       const float* g = gv->data();
       const Shape& os = engine.shape(out);
-      const std::vector<TRef>& ins = engine.inputs_of(out);
+      const std::span<const TRef> ins = engine.inputs_of(out);
       const float* y = engine.data(out);
 
       switch (k.op) {

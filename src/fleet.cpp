@@ -120,6 +120,9 @@ void merge_stats(ActivityStats& into, const ActivityStats& from) {
   into.flat_batches += from.flat_batches;
   into.stacked_batches += from.stacked_batches;
   into.scheduling_allocs += from.scheduling_allocs;
+  into.sched_cache_hits += from.sched_cache_hits;
+  into.sched_cache_misses += from.sched_cache_misses;
+  into.sched_cache_evictions += from.sched_cache_evictions;
 }
 
 void merge_mem(Engine::MemoryStats& into, const Engine::MemoryStats& from) {
@@ -150,6 +153,7 @@ void FleetShard::run_worker() {
     EngineConfig ec = harness::engine_config_for(
         reg->cfg(), opts->launch_overhead_ns, opts->time_activities);
     ec.recycle = opts->recycle;
+    ec.sched_memo = opts->sched_memo;
     slot.eng = std::make_unique<Engine>(reg->compiled().module.registry, ec);
     // The merged weight table is global (kLoadWeight indices span models),
     // so every engine wraps all of it; concrete nodes are cheap views.

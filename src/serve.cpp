@@ -65,7 +65,9 @@ class DeadlinePolicy final : public BatchPolicy {
  public:
   explicit DeadlinePolicy(const PolicyConfig& cfg) : cfg_(cfg) {}
   AdmitDecision decide(const PolicyCtx& ctx) override {
-    AdmitDecision d;  // admission itself is greedy
+    AdmitDecision d;  // admission itself is greedy unless capped
+    if (cfg_.max_admit > 0)
+      d.max_admit = ctx.live >= cfg_.max_admit ? 0 : cfg_.max_admit - ctx.live;
     // Batch-forming pause: with a small in-flight pool, hold the trigger for
     // future arrivals — but never past the oldest request's SLO deadline.
     if (ctx.live > 0 && ctx.live + ctx.queued < cfg_.min_batch && ctx.inbox_open)
@@ -106,6 +108,7 @@ void Shard::run_worker() {
   EngineConfig ec = harness::engine_config_for(
       p.cfg, opts->launch_overhead_ns, opts->time_activities);
   ec.recycle = opts->recycle;
+  ec.sched_memo = opts->sched_memo;
   Engine eng(p.compiled.module.registry, ec);
 
   std::vector<TRef> wrefs, drefs;

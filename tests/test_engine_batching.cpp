@@ -1,12 +1,33 @@
 // The engine's batching invariant: same-signature ops recorded by N
 // instances collapse into one kernel launch (and eager mode into N), with
 // numerics identical either way.
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <tuple>
 #include <utility>
 
 #include "engine/engine.h"
 #include "support/rng.h"
 #include "test_util.h"
+
+// Counting global allocator: test_record_op_ins_inline measures how many
+// heap allocations DFG construction performs per recorded op. Counting is
+// gated so only the measurement window is observed; storage is plain
+// malloc/free, which keeps sanitizer builds honest (ASan still tracks the
+// underlying blocks).
+namespace {
+bool g_count_news = false;
+long long g_news = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_count_news) ++g_news;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace acrobat;
 
@@ -388,6 +409,77 @@ void test_stacked_matmul_family() {
   }
 }
 
+// Carried-forward fix: Node::ins used to heap-allocate a vector per
+// recorded multi-input op. With the arity ≤ 4 inline small-vector plus
+// recycled slots and warmed scratch, a steady-state recording round does
+// (nearly) no heap allocation at all — the counting allocator above sees
+// a handful of allocations where the vector version paid one per op.
+// Outputs are bitwise unchanged across the fix (warm round vs measured).
+void test_record_op_ins_inline() {
+  Fixture f;
+  EngineConfig cfg;
+  cfg.recycle = true;
+  Engine eng(f.reg, cfg);
+  const Tensor w = f.pool.alloc_random(Shape(8, 8), f.rng, 0.5f);
+  const Tensor x = f.pool.alloc_random(RowVec(8), f.rng, 1.0f);
+  const TRef wref = eng.add_concrete(w.view());
+  const TRef xref = eng.add_concrete(x.view());
+  constexpr int kOps = 64;
+
+  const auto round = [&](int id) {
+    eng.begin_request(id);
+    const InstCtx ctx{id};
+    const TRef ins[2] = {xref, wref};
+    TRef v = eng.add_op(f.k_dense, ins, 2, ctx, 0);
+    for (int i = 1; i < kOps; ++i) v = eng.add_op(f.k_tanh, &v, 1, ctx, 0);
+    eng.trigger_execution();
+    const Tensor t = eng.force(v);
+    std::vector<float> out(t.data, t.data + t.numel());
+    eng.retire_request(id);
+    return out;
+  };
+
+  // Two warm rounds: the pending list and the trigger scratch are a swap
+  // pair, so both buffers need one round to reach full capacity.
+  const std::vector<float> warm = round(0);
+  round(1);
+  g_news = 0;
+  g_count_news = true;
+  const std::vector<float> measured = round(2);
+  g_count_news = false;
+  CHECK(g_news <= kOps / 8);  // pre-fix floor: one allocation per recorded op
+  CHECK_EQ(warm.size(), measured.size());
+  CHECK(std::memcmp(warm.data(), measured.data(), warm.size() * sizeof(float)) == 0);
+}
+
+// Ops wider than the inline bound spill to heap storage and stay correct:
+// the registry caps declared arity at 4, but record_op accepts up to 8
+// (variable-arity concat). A 5-way concat must round-trip its operand list
+// through inputs_of and lay the rows out end to end.
+void test_wide_op_heap_spill() {
+  Fixture f;
+  const Shape v8 = RowVec(8);
+  const Shape reps[2] = {v8, v8};
+  const int k_cat = f.reg.add("t.concat", OpKind::kConcat, 1, 2, reps);
+  Engine eng(f.reg, EngineConfig{});
+  const InstCtx ctx{0};
+  TRef ins[5];
+  std::vector<Tensor> xs;
+  for (int i = 0; i < 5; ++i) {
+    xs.push_back(f.pool.alloc_random(v8, f.rng, 1.0f));
+    ins[i] = eng.add_concrete(xs.back().view());
+  }
+  const TRef out = eng.add_op(k_cat, ins, 5, ctx, 0);
+  const Tensor t = eng.force(out);
+  CHECK_EQ(t.numel(), 40);
+  for (int i = 0; i < 5; ++i)
+    CHECK(std::memcmp(t.data + 8 * i, xs[static_cast<std::size_t>(i)].data,
+                      sizeof(float) * 8) == 0);
+  const std::span<const TRef> back = eng.inputs_of(out);
+  CHECK_EQ(back.size(), 5u);
+  for (int i = 0; i < 5; ++i) CHECK(back[static_cast<std::size_t>(i)].id == ins[i].id);
+}
+
 void test_memory_cap_oom() {
   Fixture f;
   EngineConfig cfg;
@@ -416,6 +508,8 @@ int main() {
   test_flat_recycling_parity_and_alloc_plateau();
   test_stacked_matmul_family();
   test_const_reuse();
+  test_record_op_ins_inline();
+  test_wide_op_heap_spill();
   test_memory_cap_oom();
   return acrobat::test::finish("test_engine_batching");
 }

@@ -175,6 +175,87 @@ void test_registry_kernel_dedupe() {
   CHECK(a.shards[0].stats.kernel_launches < b.shards[0].stats.kernel_launches);
 }
 
+// Schedule memoization across a merged two-model module (ISSUE 6): plan
+// keys are built from post-dedupe kernel ids, so a structurally-recurring
+// mixed cohort replays cached plans spanning BOTH models' ops. Three
+// identical 12-request cohorts all arrive at t=0 and a deadline policy with
+// min_batch == max_admit == 12 carves them back out: the hold waits until a
+// full cohort is available and the admission cap stops the trigger from
+// swallowing the next cohort, so batch composition is a pure function of
+// arrival order — deterministic even on a loaded machine. A trailing
+// singleton flushes alone. Cohort 1 misses (and records the shared
+// constants), cohort 2 misses (const-cache hits shrink its ready sets),
+// cohort 3 replays cohort 2's plans — so hits are nonzero AND exactly
+// reproducible run to run, and outputs match a memo-off fleet bitwise.
+void test_fleet_memo_merged_module() {
+  fleet::ModelRegistry reg{passes::PipelineConfig{}, /*dedupe=*/true};
+  reg.add(models::model_by_name("TreeLSTM"), false, dataset_of("TreeLSTM", 6, 11));
+  reg.add(models::model_by_name("BiRNN"), false, dataset_of("BiRNN", 6, 19));
+  reg.prepare();
+  CHECK(reg.compiled().module.registry.structural_dupes() > 0);
+
+  const int cohort = 12, cohorts = 3;
+  std::vector<serve::Request> trace;
+  for (int c = 0; c < cohorts; ++c) {
+    for (int i = 0; i < cohort; ++i) {
+      serve::Request r;
+      r.id = static_cast<int>(trace.size());
+      r.model_id = i % reg.num_models();
+      r.input_index = static_cast<std::size_t>(i / reg.num_models()) %
+                      reg.model(r.model_id).dataset.inputs.size();
+      r.arrival_ns = 0;
+      trace.push_back(r);
+    }
+  }
+  serve::Request tail;  // flushes as a singleton trigger after cohort 3
+  tail.id = static_cast<int>(trace.size());
+  tail.model_id = 0;
+  tail.input_index = 0;
+  tail.arrival_ns = 0;
+  trace.push_back(tail);
+
+  const auto run = [&](bool memo) {
+    fleet::FleetOptions fo;
+    fo.collect_outputs = true;
+    fo.sched_memo = memo;
+    fo.policy = no_slo_policy();
+    fo.policy.base.kind = serve::PolicyKind::kDeadline;
+    fo.policy.base.min_batch = cohort;
+    fo.policy.base.max_admit = cohort;
+    fo.policy.base.slo_ns = 10'000'000'000;
+    fo.policy.base.max_hold_ns = 10'000'000'000;
+    return fleet::serve_fleet(reg, trace, fo);
+  };
+
+  const fleet::FleetResult a = run(true);
+  const fleet::FleetResult b = run(true);
+  const fleet::FleetResult off = run(false);
+
+  const ActivityStats& sa = a.shards.at(0).stats;
+  const ActivityStats& sb = b.shards.at(0).stats;
+  const ActivityStats& so = off.shards.at(0).stats;
+  std::printf("fleet memo: hits %lld misses %lld evictions %lld | launches %lld vs %lld\n",
+              sa.sched_cache_hits, sa.sched_cache_misses, sa.sched_cache_evictions,
+              sa.kernel_launches, so.kernel_launches);
+  CHECK(sa.sched_cache_hits > 0);
+  CHECK_EQ(sa.sched_cache_hits, sb.sched_cache_hits);      // deterministic replay
+  CHECK_EQ(sa.sched_cache_misses, sb.sched_cache_misses);
+  CHECK_EQ(so.sched_cache_hits + so.sched_cache_misses, 0);  // off: untouched
+  CHECK_EQ(sa.kernel_launches, so.kernel_launches);  // replay = identical batching
+
+  CHECK_EQ(a.records.size(), off.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    CHECK(!a.records[i].shed);
+    const auto& ao = a.records[i].output;
+    const auto& bo = b.records[i].output;
+    const auto& oo = off.records[i].output;
+    CHECK_EQ(ao.size(), oo.size());
+    for (std::size_t j = 0; j < ao.size(); ++j) CHECK(ao[j] == oo[j]);  // bitwise
+    CHECK_EQ(ao.size(), bo.size());
+    for (std::size_t j = 0; j < ao.size(); ++j) CHECK(ao[j] == bo[j]);
+  }
+}
+
 // (b) Shedding kicks in only past saturation, and never hurts goodput
 // relative to running every blown request anyway.
 void test_shedding_only_past_saturation() {
@@ -436,6 +517,7 @@ void test_fleet_soak_mixed_models() {
 int main() {
   test_fleet_parity_with_solo_serve();
   test_registry_kernel_dedupe();
+  test_fleet_memo_merged_module();
   test_shedding_only_past_saturation();
   test_closed_loop();
   test_class_affinity_routing();

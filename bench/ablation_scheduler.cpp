@@ -18,6 +18,10 @@
 // "Scheduling" mechanism (9.7 ms vs 0.4 ms in the paper).
 #include "bench_util.h"
 
+#include "fleet/fleet.h"
+#include "models/specs.h"
+#include "serve/server.h"
+
 using namespace acrobat;
 using namespace acrobat::bench;
 
@@ -103,6 +107,95 @@ Row dynet_row(const models::ModelSpec& spec, const models::Dataset& ds,
   return r;
 }
 
+// Steady-state serving counters (ROADMAP carried item): deterministic
+// per-trigger rows for the golden trajectory. Both recipes pin batch
+// composition to arrival order — every request arrives at t=0 and a
+// deadline policy with min_batch == max_admit == cohort holds each trigger
+// until a full cohort is admitted — so triggers, memo hits, flat/stacked
+// batch counts, and sheds are exact, machine-independent integers.
+void serve_steady_row(CounterJson& json) {
+  const models::ModelSpec& spec = models::model_by_name("BiRNN");
+  // Fixed length 14: the recurring-trigger regime of a bucketed production
+  // model, so the memo hit share is a meaningful steady-state number.
+  const models::Dataset ds = models::make_token_dataset(false, 8, 29, 14, 14);
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+
+  const int n = 48, cohort = 12;
+  std::vector<serve::Request> trace;
+  for (int i = 0; i < n; ++i)
+    trace.push_back(serve::Request{i, static_cast<std::size_t>(i) % ds.inputs.size(), 0});
+  serve::ServeOptions so;
+  so.launch_overhead_ns = kLaunchNs;
+  so.policy.kind = serve::PolicyKind::kDeadline;
+  so.policy.min_batch = cohort;
+  so.policy.max_admit = cohort;
+  so.policy.slo_ns = 10'000'000'000;
+  so.policy.max_hold_ns = 10'000'000'000;
+  const serve::ServeResult res = serve::serve(p, ds, trace, so);
+
+  const ActivityStats& s = res.shards.at(0).stats;
+  const double hit_pct =
+      s.sched_cache_hits + s.sched_cache_misses > 0
+          ? 100.0 * static_cast<double>(s.sched_cache_hits) /
+                static_cast<double>(s.sched_cache_hits + s.sched_cache_misses)
+          : 0.0;
+  std::printf("serve_steady  (BiRNN len14, %d req, cohort %d): triggers %lld | "
+              "memo hit %.0f%% | flat %lld stacked %lld | launches %lld\n",
+              n, cohort, res.shards.at(0).triggers, hit_pct, s.flat_batches,
+              s.stacked_batches, s.kernel_launches);
+  json.add("serve_steady/birnn", s,
+           {{"requests", n}, {"triggers", res.shards.at(0).triggers}, {"shed", 0}},
+           {{"p50_ms", res.latency_ms.p50}, {"p99_ms", res.latency_ms.p99}});
+}
+
+void fleet_steady_row(CounterJson& json) {
+  fleet::ModelRegistry reg;
+  reg.add(models::model_by_name("TreeLSTM"), false,
+          models::model_by_name("TreeLSTM").build_dataset(false, 6, 11));
+  reg.add(models::model_by_name("BiRNN"), false,
+          models::model_by_name("BiRNN").build_dataset(false, 6, 19));
+  reg.prepare();
+
+  // Interactive deadline 1ns is blown on arrival (est_service 0, grace 0),
+  // so exactly the interactive third of the cohort sheds — a deterministic
+  // shed count exercising the triage path in the golden row.
+  const int n = 24;
+  std::vector<serve::Request> trace;
+  long long interactive = 0;
+  for (int i = 0; i < n; ++i) {
+    serve::Request r;
+    r.id = i;
+    r.model_id = i % reg.num_models();
+    r.input_index = static_cast<std::size_t>(i / reg.num_models()) %
+                    reg.model(r.model_id).dataset.inputs.size();
+    r.arrival_ns = 0;
+    r.latency_class = i % 3 == 0 ? serve::LatencyClass::kInteractive
+                                 : serve::LatencyClass::kBatch;
+    interactive += i % 3 == 0 ? 1 : 0;
+    trace.push_back(r);
+  }
+  fleet::FleetOptions fo;
+  fo.launch_overhead_ns = kLaunchNs;
+  fo.policy.deadline_ns = {1, 0, 0};
+  fo.policy.est_service_ns = 0;
+  fo.policy.shed_grace = 0.0;
+  fo.policy.base.kind = serve::PolicyKind::kDeadline;
+  fo.policy.base.min_batch = n;
+  fo.policy.base.max_admit = n;
+  fo.policy.base.slo_ns = 10'000'000'000;
+  fo.policy.base.max_hold_ns = 10'000'000'000;
+  const fleet::FleetResult res = fleet::serve_fleet(reg, trace, fo);
+
+  const ActivityStats& s = res.shards.at(0).stats;
+  std::printf("fleet_steady  (TreeLSTM+BiRNN, %d req, %lld shed): triggers %lld | "
+              "flat %lld stacked %lld | launches %lld\n",
+              n, res.shed, res.shards.at(0).triggers, s.flat_batches,
+              s.stacked_batches, s.kernel_launches);
+  json.add("fleet_steady/mixed", s,
+           {{"requests", n}, {"triggers", res.shards.at(0).triggers}, {"shed", res.shed}},
+           {{"goodput", res.goodput}});
+}
+
 }  // namespace
 
 int main() {
@@ -146,6 +239,13 @@ int main() {
       "identical launches to ACROBAT/inline, scheduling reduced to a hash\n"
       "lookup — its counters are last-repetition-only, so hits > 0 and\n"
       "misses == 0 there.\n");
+  // Steady-state serving rows (DESIGN.md §9): per-trigger counters from
+  // deterministic serve and fleet cohorts, golden-diffed alongside the
+  // closed-batch rows so the serving layer's batching behavior has a
+  // per-PR trajectory too.
+  std::printf("\n");
+  serve_steady_row(json);
+  fleet_steady_row(json);
   // The perf trajectory artifact: exact counters + timing context per
   // config, diffed (counters only) against bench/golden/BENCH_engine.json
   // by CI's perf-smoke step.

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/cortex.h"
@@ -91,7 +92,16 @@ inline models::Dataset dataset_for(const models::ModelSpec& spec, bool large,
 class CounterJson {
  public:
   void add(const std::string& config, const ActivityStats& s) {
-    rows_.push_back(Row{config, s});
+    rows_.push_back(Row{config, s, {}, {}});
+  }
+  // Serving rows ride extra columns alongside the engine counters: integer
+  // extras (requests, triggers, shed, …) are exact and golden-diffed like
+  // the counters; double extras (p50_ms, goodput, …) are machine-dependent
+  // context, emitted but never diffed — the same split as the *_ns fields.
+  void add(const std::string& config, const ActivityStats& s,
+           std::vector<std::pair<std::string, long long>> int_extras,
+           std::vector<std::pair<std::string, double>> dbl_extras = {}) {
+    rows_.push_back(Row{config, s, std::move(int_extras), std::move(dbl_extras)});
   }
 
   // Writes to $ACROBAT_BENCH_JSON, or `fallback_path` when the env var is
@@ -115,15 +125,19 @@ class CounterJson {
           "\"kernel_launches\": %lld, \"gather_bytes\": %lld, "
           "\"flat_batches\": %lld, \"stacked_batches\": %lld, "
           "\"scheduling_allocs\": %lld, \"sched_cache_hits\": %lld, "
-          "\"sched_cache_misses\": %lld, \"sched_cache_evictions\": %lld}%s\n",
+          "\"sched_cache_misses\": %lld, \"sched_cache_evictions\": %lld",
           rows_[i].config.c_str(), static_cast<long long>(s.dfg_construction.ns),
           static_cast<long long>(s.scheduling.ns),
           static_cast<long long>(s.gather_copy.ns),
           static_cast<long long>(s.kernel_exec.ns),
           static_cast<long long>(s.launch_overhead.ns), s.kernel_launches,
           s.gather_bytes, s.flat_batches, s.stacked_batches, s.scheduling_allocs,
-          s.sched_cache_hits, s.sched_cache_misses, s.sched_cache_evictions,
-          i + 1 < rows_.size() ? "," : "");
+          s.sched_cache_hits, s.sched_cache_misses, s.sched_cache_evictions);
+      for (const auto& [k, v] : rows_[i].int_extras)
+        std::fprintf(f, ", \"%s\": %lld", k.c_str(), v);
+      for (const auto& [k, v] : rows_[i].dbl_extras)
+        std::fprintf(f, ", \"%s\": %.6g", k.c_str(), v);
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -135,6 +149,8 @@ class CounterJson {
   struct Row {
     std::string config;
     ActivityStats stats;
+    std::vector<std::pair<std::string, long long>> int_extras;
+    std::vector<std::pair<std::string, double>> dbl_extras;
   };
   std::vector<Row> rows_;
 };

@@ -19,6 +19,33 @@ using namespace acrobat::bench;
 
 namespace {
 
+// Machine-readable frontier rows (DESIGN.md §9): merged shard counters as
+// exact integers, latency/goodput as double context — BENCH_fleet.json (or
+// $ACROBAT_BENCH_JSON). Real-time arrival process → context, not golden.
+void record_point(CounterJson& json, const std::string& config,
+                  const fleet::FleetResult& res) {
+  ActivityStats m;
+  long long triggers = 0, requests = 0;
+  for (const serve::ShardReport& s : res.shards) {
+    m.kernel_launches += s.stats.kernel_launches;
+    m.gather_bytes += s.stats.gather_bytes;
+    m.flat_batches += s.stats.flat_batches;
+    m.stacked_batches += s.stats.stacked_batches;
+    m.scheduling_allocs += s.stats.scheduling_allocs;
+    m.sched_cache_hits += s.stats.sched_cache_hits;
+    m.sched_cache_misses += s.stats.sched_cache_misses;
+    m.sched_cache_evictions += s.stats.sched_cache_evictions;
+    triggers += s.triggers;
+    requests += s.requests;
+  }
+  json.add(config, m,
+           {{"requests", requests}, {"triggers", triggers}, {"shed", res.shed}},
+           {{"p50_ms", res.latency_ms.p50},
+            {"p99_ms", res.latency_ms.p99},
+            {"thpt_rps", res.throughput_rps},
+            {"goodput", res.goodput}});
+}
+
 void print_point(const char* kind, double x, const char* mode, int shards,
                  const fleet::FleetResult& res) {
   std::printf(
@@ -94,6 +121,7 @@ int main() {
   // (~2 batched service times), not just what has already blown it.
   fo.policy.est_service_ns = static_cast<std::int64_t>(solo_ms * 2e6);
 
+  CounterJson json;
   fleet::FleetResult overload;  // 1-shard mux at 6x: the per-class exhibit
   double overload_rate = 0;
   for (const int shards : {1, 2}) {
@@ -110,6 +138,10 @@ int main() {
         o.multiplex = multiplex;
         fleet::FleetResult res = fleet::serve_fleet(reg, trace, o);
         print_point("open", rate, multiplex ? "mux" : "iso", shards, res);
+        char cfg[96];
+        std::snprintf(cfg, sizeof cfg, "open/%.1fx/%s/s%d", mult,
+                      multiplex ? "mux" : "iso", shards);
+        record_point(json, cfg, res);
         if (shards == 1 && mult == 6.0 && multiplex) {
           overload = std::move(res);
           overload_rate = rate;
@@ -143,7 +175,53 @@ int main() {
     cs.seed = 42;
     fleet::FleetOptions o = fo;
     o.shards = 1;
-    print_point("closed", clients, "mux", 1, fleet::serve_fleet_closed(reg, cs, mix, o));
+    const fleet::FleetResult res = fleet::serve_fleet_closed(reg, cs, mix, o);
+    print_point("closed", clients, "mux", 1, res);
+    char cfg[96];
+    std::snprintf(cfg, sizeof cfg, "closed/k%d/mux", clients);
+    record_point(json, cfg, res);
+  }
+  json.write("fleet_frontier", "BENCH_fleet.json");
+
+  // Smoke-trace exhibit (ISSUE 7 / DESIGN.md §9): with ACROBAT_TRACE_JSON
+  // set, replay a small forced-shed cohort with the tracer on and export
+  // Chrome trace-event JSON — open it in Perfetto (README) or validate it
+  // with scripts/check_trace.py, which CI runs on exactly this file. The
+  // 1ns interactive deadline guarantees shed events; the cohort hold
+  // guarantees trigger/batch spans and a memo probe on any machine.
+  if (const char* tpath = std::getenv("ACROBAT_TRACE_JSON");
+      tpath != nullptr && *tpath != '\0') {
+    const int n = 24;
+    std::vector<serve::Request> trace;
+    for (int i = 0; i < n; ++i) {
+      serve::Request r;
+      r.id = i;
+      r.model_id = i % reg.num_models();
+      r.input_index = static_cast<std::size_t>(i / reg.num_models()) % n_inputs;
+      r.arrival_ns = 0;
+      r.latency_class = i % 3 == 0 ? serve::LatencyClass::kInteractive
+                                   : serve::LatencyClass::kBatch;
+      trace.push_back(r);
+    }
+    fleet::FleetOptions o = fo;
+    o.policy.deadline_ns = {1, 0, 0};  // interactive blown at arrival → shed
+    o.policy.est_service_ns = 0;
+    o.policy.shed_grace = 0.0;
+    o.policy.base.kind = serve::PolicyKind::kDeadline;
+    o.policy.base.min_batch = n;
+    o.policy.base.max_admit = n;
+    o.policy.base.slo_ns = 10'000'000'000;
+    o.policy.base.max_hold_ns = 10'000'000'000;
+    o.trace.enabled = true;
+    o.trace.slow_threshold_ns = 1;   // capture exemplars too
+    o.trace.tick_every_triggers = 1; // and counter tracks
+    const fleet::FleetResult res = fleet::serve_fleet(reg, trace, o);
+    if (res.trace.write_chrome_json(tpath))
+      std::printf("wrote %s (%llu events, %lld shed, %zu ticks)\n", tpath,
+                  static_cast<unsigned long long>(res.trace.total_events()), res.shed,
+                  res.trace.ticks.size());
+    else
+      std::fprintf(stderr, "failed to write %s\n", tpath);
   }
   return 0;
 }

@@ -18,6 +18,40 @@ using namespace acrobat::bench;
 
 namespace {
 
+// Machine-readable frontier rows (DESIGN.md §9): every printed point also
+// lands in BENCH_serve.json (or $ACROBAT_BENCH_JSON) with the merged shard
+// counters as exact integers and the latency columns as double extras.
+// Unlike BENCH_engine.json these rows ride a real-time arrival process, so
+// they are context, not golden-diffed.
+ActivityStats merged_stats(const serve::ServeResult& res) {
+  ActivityStats m;
+  for (const serve::ShardReport& s : res.shards) {
+    m.kernel_launches += s.stats.kernel_launches;
+    m.gather_bytes += s.stats.gather_bytes;
+    m.flat_batches += s.stats.flat_batches;
+    m.stacked_batches += s.stats.stacked_batches;
+    m.scheduling_allocs += s.stats.scheduling_allocs;
+    m.sched_cache_hits += s.stats.sched_cache_hits;
+    m.sched_cache_misses += s.stats.sched_cache_misses;
+    m.sched_cache_evictions += s.stats.sched_cache_evictions;
+  }
+  return m;
+}
+
+void record_point(CounterJson& json, const std::string& config,
+                  const serve::ServeResult& res, double deadline_ms) {
+  long long triggers = 0, requests = 0;
+  for (const serve::ShardReport& s : res.shards) {
+    triggers += s.triggers;
+    requests += s.requests;
+  }
+  json.add(config, merged_stats(res), {{"requests", requests}, {"triggers", triggers}},
+           {{"p50_ms", res.latency_ms.p50},
+            {"p99_ms", res.latency_ms.p99},
+            {"thpt_rps", res.throughput_rps},
+            {"good_pct", 100.0 * res.latency_ms.attainment(deadline_ms)}});
+}
+
 void print_point(double rate, const char* policy, int shards,
                  const serve::ServeResult& res, double deadline_ms) {
   // arenaKB/nodes: worst shard's arena high-water mark and node-table size —
@@ -81,6 +115,7 @@ int main() {
               "rate", "policy", "shards", "p50ms", "p95ms", "p99ms", "mean",
               "thpt", "good%", "launches", "arenaKB", "nodes", "hit%");
 
+  CounterJson json;
   std::vector<serve::PolicyConfig> policies(3);
   policies[0].kind = serve::PolicyKind::kGreedy;
   policies[1].kind = serve::PolicyKind::kMaxBatch;
@@ -107,6 +142,10 @@ int main() {
         so.launch_overhead_ns = kLaunchNs;
         const serve::ServeResult res = serve::serve(p, ds, trace, so);
         print_point(rate, serve::policy_name(pc.kind), shards, res, deadline_ms);
+        char cfg[96];
+        std::snprintf(cfg, sizeof cfg, "poisson/%.1fx/%s/s%d", mult,
+                      serve::policy_name(pc.kind), shards);
+        record_point(json, cfg, res, deadline_ms);
       }
     }
     std::printf("\n");
@@ -127,6 +166,9 @@ int main() {
     so.launch_overhead_ns = kLaunchNs;
     const serve::ServeResult res = serve::serve(p, ds, trace, so);
     print_point(ls.rate_rps, serve::policy_name(pc.kind), 1, res, deadline_ms);
+    record_point(json, std::string("burst/2.0x/") + serve::policy_name(pc.kind), res,
+                 deadline_ms);
   }
+  json.write("serve_latency", "BENCH_serve.json");
   return 0;
 }

@@ -29,6 +29,9 @@
 namespace acrobat {
 
 class FiberScheduler;
+namespace trace {
+class Tracer;
+}
 
 // Per-activity time accounting (Table 6 rows).
 struct ActivityStats {
@@ -146,6 +149,12 @@ class Engine {
   void trigger_execution();
 
   void set_fiber_scheduler(FiberScheduler* fs) { fibers_ = fs; }
+
+  // Observability (trace/trace.h, DESIGN.md §9): when set, triggers,
+  // scheduling, memo probes, batches, and gathers emit events into the
+  // shard-owned ring. Null (the default) costs one predicted branch per
+  // site — tests/test_trace.cpp proves bitwise on/off parity.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
 
   // Serving hook (serve/server.h): called at the top of every trigger,
   // before pending ops are scheduled. The hook may admit newly arrived
@@ -373,6 +382,7 @@ class Engine {
   std::unordered_map<int, TRef> const_cache_;  // const_reuse: kernel id → node
   std::vector<std::shared_ptr<std::string>> boxed_;  // boxed_dfg allocations
   FiberScheduler* fibers_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   std::function<void()> admission_hook_;
   std::size_t live_bytes_ = 0;
   bool in_trigger_ = false;

@@ -49,6 +49,10 @@ struct FleetOptions {
   // means every shard. Within the eligible set, dispatch follows
   // `dispatch` (least-loaded ties break to the lowest index).
   std::array<std::vector<int>, serve::kNumLatencyClasses> class_affinity;
+  // Observability (DESIGN.md §9), as in serve::ServeOptions. The slow-
+  // request exemplar threshold defaults to each request's own class
+  // deadline when slow_threshold_ns is 0.
+  trace::TraceOptions trace;
 };
 
 // Aborts loudly on nonsense (shards <= 0, affinity index out of range).
@@ -73,6 +77,9 @@ struct FleetResult {
   double goodput = 0;
   std::array<ClassReport, serve::kNumLatencyClasses> by_class;
   std::vector<serve::ShardReport> shards;
+  // Populated when FleetOptions::trace.enabled (write_chrome_json →
+  // Perfetto); includes triage/shed instants alongside the engine spans.
+  trace::TraceDump trace;
 
   long long total_launches() const {
     long long n = 0;

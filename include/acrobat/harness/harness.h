@@ -28,6 +28,11 @@ struct RunOptions {
   // replay cost (bench/ablation_scheduler.cpp); repeats == 1 is the
   // unchanged single-pass behavior.
   int repeats = 1;
+  // Observability (DESIGN.md §9): attach this tracer to the engine and
+  // fiber scheduler for the run. Null (the default) keeps every
+  // instrumentation site to one predicted branch — the overhead bench
+  // (bench/trace_overhead.cpp) measures exactly this knob.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct RunResult {

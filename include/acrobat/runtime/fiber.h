@@ -29,6 +29,10 @@
 
 namespace acrobat {
 
+namespace trace {
+class Tracer;
+}
+
 using FiberTask = std::function<void()>;
 
 class FiberScheduler {
@@ -57,6 +61,11 @@ class FiberScheduler {
   // serve shard retires the request's engine state (node span + arena
   // epoch). Runs on the scheduler side, never inside a fiber.
   void set_reap_hook(std::function<void(int)> hook) { reap_hook_ = std::move(hook); }
+
+  // Observability (trace/trace.h, DESIGN.md §9): spawn/block/wake/reap emit
+  // instants into the shard's ring. Null (default) costs one predicted
+  // branch per site.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
 
   // Runs every ready fiber until it blocks or completes; returns how many
   // fibers were stepped.
@@ -108,6 +117,7 @@ class FiberScheduler {
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<std::unique_ptr<Fiber>> pool_;  // recycled fibers, stacks retained
   std::function<void(int)> reap_hook_;
+  trace::Tracer* tracer_ = nullptr;
   int current_ = -1;
   long long idle_triggers_ = 0;
   long long stacks_allocated_ = 0;

@@ -18,6 +18,7 @@
 #include "serve/load.h"
 #include "serve/policy.h"
 #include "serve/stats.h"
+#include "trace/trace.h"
 
 namespace acrobat::serve {
 
@@ -45,6 +46,12 @@ struct ServeOptions {
   // plans by default; ShardReport::stats carries the per-shard hit/miss
   // counters. Off reproduces the always-live-scheduler baseline.
   bool sched_memo = true;
+  // Observability (DESIGN.md §9): when enabled, each shard owns a
+  // fixed-capacity event ring + metrics registry and ServeResult::trace
+  // carries the assembled dump (write_chrome_json → Perfetto). Off (the
+  // default) costs one predicted branch per instrumentation site —
+  // tests/test_trace.cpp proves bitwise parity.
+  trace::TraceOptions trace;
 };
 
 // Aborts loudly on a nonsense configuration (shards <= 0, negative launch
@@ -92,6 +99,9 @@ struct ServeResult {
   double throughput_rps = 0;
   double makespan_ms = 0;  // first arrival to last completion
   std::vector<ShardReport> shards;
+  // Populated when ServeOptions::trace.enabled: one track per shard plus
+  // the dispatcher, streamed metric ticks, and slow-request exemplars.
+  trace::TraceDump trace;
 
   long long total_launches() const {
     long long n = 0;

@@ -1,58 +1,168 @@
-// Latency aggregation for the serving layer: nearest-rank percentiles over
-// a sample vector. Reused by bench_util.h for every bench that reports a
-// distribution instead of a min (DESIGN.md §6 measures achievable latency;
-// serving SLOs are about the tail, so serve_latency reports p50/p95/p99 and
-// the fleet layer adds p99.9 plus deadline attainment — the goodput column).
-// Per-shard memory gauges live on ShardReport (server.h) as the engine's
-// own MemoryStats.
+// Latency aggregation for the serving layer: log-bucketed histograms with
+// nearest-rank quantiles. Reused by bench_util.h for every bench that
+// reports a distribution instead of a min (DESIGN.md §6 measures achievable
+// latency; serving SLOs are about the tail, so serve_latency reports
+// p50/p95/p99 and the fleet layer adds p99.9 plus deadline attainment — the
+// goodput column).
+//
+// The histogram replaces the stored-sample vectors the serve path used to
+// keep: memory is a fixed 256 buckets regardless of request count, so a 5k
+// (or 5M) soak aggregates latency in O(1) space (DESIGN.md §9). Bucket
+// edges grow by 2^(1/8) (~9% wide), which bounds a reported quantile's
+// relative error by ~4.4% (geometric midpoint of the owning bucket);
+// tests/test_trace.cpp checks that bound against exact sorted-sample
+// quantiles on seeded data. Exact count/mean/max ride alongside, so
+// attainment at or past the observed max is exact. Per-shard memory gauges
+// live on ShardReport (server.h) as the engine's own MemoryStats.
 #pragma once
 
-#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace acrobat::serve {
 
+class LatencyHisto {
+ public:
+  static constexpr int kBuckets = 256;
+  static constexpr double kLoMs = 1e-3;  // first bucket: [0, 1 µs]
+  // Per-bucket growth factor 2^(1/8); 255 log buckets reach ~1 hour.
+  static constexpr double kGrowth = 1.0905077326652577;
+  // Max relative error of a bucket's geometric-midpoint representative
+  // against any sample in the bucket: sqrt(kGrowth) - 1.
+  static constexpr double kRelError = 0.0443;
+
+  void add(double ms) {
+    ++n_;
+    sum_ += ms;
+    if (ms > max_) max_ = ms;
+    ++b_[static_cast<std::size_t>(bucket(ms))];
+  }
+
+  void merge(const LatencyHisto& o) {
+    n_ += o.n_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+    for (int i = 0; i < kBuckets; ++i)
+      b_[static_cast<std::size_t>(i)] += o.b_[static_cast<std::size_t>(i)];
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? sum_ / static_cast<double>(n_) : 0.0; }
+  double max() const { return max_; }
+
+  // Nearest-rank quantile from buckets: the representative of the bucket
+  // holding the ceil(q*N)-th smallest sample, clamped to the exact max.
+  double quantile(double q) const {
+    if (n_ == 0) return 0.0;
+    double rank = std::ceil(q * static_cast<double>(n_));
+    if (rank < 1.0) rank = 1.0;
+    if (rank >= static_cast<double>(n_)) return max_;  // the top rank is exact
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += b_[static_cast<std::size_t>(i)];
+      if (static_cast<double>(cum) >= rank)
+        return std::min(representative(i), max_);
+    }
+    return max_;
+  }
+
+  // Fraction of samples at or under the deadline. Exact when the deadline
+  // clears the observed max (the SLO-met case must read 1.0, not 0.9997);
+  // otherwise full buckets count exactly and the straddling bucket is
+  // log-interpolated.
+  double attainment(double deadline_ms) const {
+    if (n_ == 0) return 1.0;
+    if (deadline_ms >= max_) return 1.0;
+    if (deadline_ms < 0) return 0.0;
+    double cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const double hi = upper_edge(i);
+      const double cnt = static_cast<double>(b_[static_cast<std::size_t>(i)]);
+      if (deadline_ms >= hi) {
+        cum += cnt;
+        continue;
+      }
+      const double lo = i == 0 ? 0.0 : upper_edge(i - 1);
+      if (deadline_ms > lo) {
+        // Bucket 0 starts at 0 where the log scale degenerates — linear there.
+        const double frac =
+            i == 0 ? deadline_ms / hi
+                   : (std::log(deadline_ms) - std::log(lo)) /
+                         (std::log(hi) - std::log(lo));
+        cum += cnt * frac;
+      }
+      break;
+    }
+    return cum / static_cast<double>(n_);
+  }
+
+  std::uint64_t bucket_count(int i) const {
+    return b_[static_cast<std::size_t>(i)];
+  }
+
+  // Bucket i covers (upper_edge(i-1), upper_edge(i)]; bucket 0 starts at 0.
+  static double upper_edge(int i) {
+    return kLoMs * std::pow(2.0, static_cast<double>(i) / 8.0);
+  }
+  static int bucket(double ms) {
+    if (!(ms > kLoMs)) return 0;
+    const int i = static_cast<int>(std::ceil(std::log2(ms / kLoMs) * 8.0));
+    return i < 1 ? 1 : (i > kBuckets - 1 ? kBuckets - 1 : i);
+  }
+  static double representative(int i) {
+    if (i == 0) return kLoMs * 0.5;
+    return kLoMs * std::pow(2.0, (static_cast<double>(i) - 0.5) / 8.0);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> b_{};
+};
+
 struct Percentiles {
   double p50 = 0, p95 = 0, p99 = 0, p999 = 0, mean = 0, max = 0;
   std::size_t count = 0;
-  // Retained (sorted ascending) so deadline attainment can be queried for
-  // any deadline after aggregation — serve_latency's goodput column sweeps
+  // Retained so deadline attainment can be queried for any deadline after
+  // aggregation — serve_latency's goodput column sweeps
   // ACROBAT_SERVE_DEADLINE_MS without re-running the trace.
-  std::vector<double> sorted;
+  LatencyHisto histo;
 
-  // Nearest-rank: the ceil(q*N)-th smallest sample.
-  static Percentiles of(std::vector<double> samples) {
+  static Percentiles from(const LatencyHisto& h) {
     Percentiles r;
-    r.count = samples.size();
-    if (samples.empty()) return r;
-    std::sort(samples.begin(), samples.end());
-    r.sorted = std::move(samples);
-    const auto rank = [&](double q) {
-      std::size_t i =
-          static_cast<std::size_t>(std::ceil(q * static_cast<double>(r.sorted.size())));
-      if (i > 0) --i;
-      return r.sorted[std::min(i, r.sorted.size() - 1)];
-    };
-    r.p50 = rank(0.50);
-    r.p95 = rank(0.95);
-    r.p99 = rank(0.99);
-    r.p999 = rank(0.999);
-    double sum = 0;
-    for (const double s : r.sorted) sum += s;
-    r.mean = sum / static_cast<double>(r.sorted.size());
-    r.max = r.sorted.back();
+    r.histo = h;
+    r.count = h.count();
+    if (r.count == 0) return r;
+    r.p50 = h.quantile(0.50);
+    r.p95 = h.quantile(0.95);
+    r.p99 = h.quantile(0.99);
+    r.p999 = h.quantile(0.999);
+    r.mean = h.mean();
+    r.max = h.max();
     return r;
   }
 
-  // Fraction of samples at or under the deadline (SLO attainment). An
-  // empty distribution attains vacuously: 1.0.
+  static Percentiles of(const std::vector<double>& samples) {
+    LatencyHisto h;
+    for (const double s : samples) h.add(s);
+    return from(h);
+  }
+
   double attainment(double deadline_ms) const {
-    if (sorted.empty()) return 1.0;
-    const auto it = std::upper_bound(sorted.begin(), sorted.end(), deadline_ms);
-    return static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size());
+    return histo.attainment(deadline_ms);
   }
 };
+
+// The serve-path contract this type exists for: no per-sample storage —
+// aggregation memory does not scale with request count.
+static_assert(std::is_trivially_copyable_v<LatencyHisto>,
+              "LatencyHisto must hold no sample vectors");
+static_assert(std::is_trivially_copyable_v<Percentiles>,
+              "Percentiles must hold no sample vectors");
 
 }  // namespace acrobat::serve

@@ -23,6 +23,12 @@ COUNTERS = (
     "sched_cache_hits",
     "sched_cache_misses",
     "sched_cache_evictions",
+    # Steady-state serving rows (ISSUE 7): deterministic under the
+    # all-arrivals-at-t0 cohort recipe; absent (None == None) on the
+    # engine-only rows, so old goldens keep passing.
+    "requests",
+    "triggers",
+    "shed",
 )
 
 

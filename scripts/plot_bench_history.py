@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Plot the per-PR trajectory of golden bench counters across git history.
+
+Usage: plot_bench_history.py [--counter kernel_launches] [--config PREFIX]
+                             [--golden bench/golden/BENCH_engine.json]
+                             [--tsv] [--png out.png]
+
+Walks every commit that touched the golden counter file, loads each
+revision with `git show`, and renders one series per bench config: how
+kernel launches (or gather bytes, scheduling allocs, ...) moved PR over
+PR. The default output is an ASCII chart plus a final-vs-first delta
+column — the "did the hot path get better or worse" view ISSUE 7 asks
+for. --tsv dumps machine-readable rows instead; --png uses matplotlib
+when it happens to be installed (never required).
+"""
+import argparse
+import json
+import subprocess
+import sys
+
+WIDTH = 44  # ASCII chart columns
+
+
+def git(*args):
+    return subprocess.run(("git",) + args, capture_output=True, text=True,
+                          check=True).stdout
+
+
+def load_history(golden):
+    revs = git("log", "--format=%H %s", "--reverse", "--", golden).splitlines()
+    history = []  # [(sha, subject, {config: row})]
+    for line in revs:
+        sha, _, subject = line.partition(" ")
+        try:
+            doc = json.loads(git("show", f"{sha}:{golden}"))
+        except (subprocess.CalledProcessError, json.JSONDecodeError):
+            continue  # file absent or unparsable at that revision
+        history.append((sha[:10], subject,
+                        {r["config"]: r for r in doc.get("rows", [])}))
+    return history
+
+
+def spark(values):
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return "·" * len(values)
+    ramp = "▁▂▃▄▅▆▇█"
+    return "".join(
+        ramp[int((v - lo) / (hi - lo) * (len(ramp) - 1))] for v in values)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--counter", default="kernel_launches")
+    ap.add_argument("--config", default="",
+                    help="only configs whose name starts with this prefix")
+    ap.add_argument("--golden", default="bench/golden/BENCH_engine.json")
+    ap.add_argument("--tsv", action="store_true")
+    ap.add_argument("--png", default="")
+    args = ap.parse_args()
+
+    history = load_history(args.golden)
+    if not history:
+        sys.exit(f"plot_bench_history: no git history for {args.golden}")
+
+    configs = sorted({c for _, _, rows in history for c in rows
+                      if c.startswith(args.config)})
+    if not configs:
+        sys.exit(f"plot_bench_history: no configs match {args.config!r}")
+
+    # series[config] = [value-or-None per revision]
+    series = {
+        c: [rows[c].get(args.counter) if c in rows else None
+            for _, _, rows in history]
+        for c in configs
+    }
+
+    if args.tsv:
+        print("\t".join(["config"] + [sha for sha, _, _ in history]))
+        for c in configs:
+            print("\t".join([c] + ["" if v is None else str(v)
+                                   for v in series[c]]))
+        return
+
+    if args.png:
+        try:
+            import matplotlib
+            matplotlib.use("Agg")
+            import matplotlib.pyplot as plt
+        except ImportError:
+            sys.exit("plot_bench_history: matplotlib not installed; "
+                     "use --tsv or the default ASCII output")
+        xs = range(len(history))
+        for c in configs:
+            plt.plot(xs, [v for v in series[c]], label=c, marker="o")
+        plt.xticks(list(xs), [sha for sha, _, _ in history], rotation=45,
+                   fontsize=6)
+        plt.ylabel(args.counter)
+        plt.legend(fontsize=6)
+        plt.tight_layout()
+        plt.savefig(args.png, dpi=150)
+        print(f"wrote {args.png}")
+        return
+
+    print(f"{args.counter} across {len(history)} revisions of {args.golden}")
+    for i, (sha, subject, _) in enumerate(history):
+        print(f"  [{i}] {sha}  {subject[:70]}")
+    print()
+    namew = max(len(c) for c in configs)
+    for c in configs:
+        vals = [v for v in series[c] if v is not None]
+        if not vals:
+            continue
+        first, last = vals[0], vals[-1]
+        delta = ("      =" if last == first else
+                 f"{100.0 * (last - first) / first:+6.1f}%" if first else
+                 "    new")
+        chart = spark(vals) if len(vals) > 1 else "·"
+        print(f"  {c:<{namew}}  {chart:<{WIDTH}} "
+              f"first={first:<10} last={last:<10} {delta}")
+
+
+if __name__ == "__main__":
+    main()

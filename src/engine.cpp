@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "runtime/fiber.h"
+#include "trace/trace.h"
 
 namespace acrobat {
 namespace {
@@ -728,6 +729,8 @@ bool Engine::memo_try_replay(const std::vector<std::uint32_t>& pending) {
   }
   if (hit == nullptr) {
     ++stats_.sched_cache_misses;
+    ACROBAT_TRACE(tracer_, tracer_->instant(trace::EventKind::kMemoMiss,
+                                            static_cast<std::int32_t>(pending.size())));
     memo_recording_ = true;
     memo_rec_batches_.clear();
     memo_rec_members_.clear();
@@ -735,6 +738,8 @@ bool Engine::memo_try_replay(const std::vector<std::uint32_t>& pending) {
     return false;
   }
   ++stats_.sched_cache_hits;
+  ACROBAT_TRACE(tracer_, tracer_->instant(trace::EventKind::kMemoHit,
+                                          static_cast<std::int32_t>(pending.size())));
   hit->last_used = ++memo_tick_;
   // Replay: map recorded positions through the live ready set and hand each
   // batch straight to execute_batch, which re-derives flat/stacked/gather
@@ -820,15 +825,22 @@ void Engine::trigger_execution() {
   }
   if (pending_.empty()) return;
   in_trigger_ = true;
+  std::int64_t trace_t0 = 0;
+  ACROBAT_TRACE(tracer_, trace_t0 = tracer_->now());
   // Double-buffer the pending list: the swapped-out buffer is reused next
   // trigger, so the swap itself never allocates in steady state.
   trigger_scratch_.clear();
   trigger_scratch_.swap(pending_);
+  const auto trace_ops = static_cast<std::int32_t>(trigger_scratch_.size());
   const bool memo = cfg_.sched_memo && cfg_.lazy;
   try {
     // Memoized path first: a hit replays the cached plan and skips the
     // scheduler entirely; a miss arms plan recording and falls through.
-    if (!memo || !memo_try_replay(trigger_scratch_)) {
+    std::int64_t sched_t0 = 0;
+    ACROBAT_TRACE(tracer_, sched_t0 = tracer_->now());
+    bool replayed = false;
+    if (memo) replayed = memo_try_replay(trigger_scratch_);
+    if (!replayed) {
       if (cfg_.scheduler == SchedulerKind::kAgenda) {
         schedule_agenda(trigger_scratch_);
       } else {
@@ -840,6 +852,8 @@ void Engine::trigger_execution() {
         if (cfg_.time_activities) stats_.scheduling.add(now_ns() - t0);
       }
     }
+    ACROBAT_TRACE(tracer_, tracer_->span(trace::EventKind::kSchedule, sched_t0,
+                                         trace_ops, -1, 0, replayed ? 1 : 0));
     // This trigger consumed the captured key; ops recorded from here on
     // belong to the next window (fresh stamp generation, empty key).
     if (memo) memo_capture_reset();
@@ -858,6 +872,16 @@ void Engine::trigger_execution() {
     ++epoch_;
     arena_.set_epoch(epoch_);
   }
+  ACROBAT_TRACE(tracer_, {
+    tracer_->span(trace::EventKind::kTrigger, trace_t0, trace_ops);
+    const long long probes = stats_.sched_cache_hits + stats_.sched_cache_misses;
+    tracer_->counter(
+        static_cast<std::int32_t>(live_nodes()),
+        probes > 0
+            ? static_cast<std::int32_t>(1000 * stats_.sched_cache_hits / probes)
+            : 0,
+        static_cast<std::int64_t>(memory().arena_active_bytes));
+  });
 }
 
 float* Engine::stage_gather(const std::vector<std::uint32_t>& ids, int operand,
@@ -871,6 +895,11 @@ float* Engine::stage_gather(const std::vector<std::uint32_t>& ids, int operand,
                 sizeof(float) * static_cast<std::size_t>(step));
   stats_.gather_bytes += static_cast<long long>(n) * step *
                          static_cast<long long>(sizeof(float));
+  ACROBAT_TRACE(tracer_,
+                tracer_->instant(trace::EventKind::kGather,
+                                 static_cast<std::int32_t>(n), operand,
+                                 static_cast<std::int64_t>(n) * step *
+                                     static_cast<std::int64_t>(sizeof(float))));
   charge_bytes(static_cast<std::size_t>(n) * static_cast<std::size_t>(step) *
                sizeof(float));
   return staged;
@@ -1034,6 +1063,8 @@ void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
   // dispatched (grouping, order, merged-launch flags); memo_install caches
   // it once the whole trigger has succeeded.
   if (memo_recording_) memo_note_batch(kernel_id, ids, merge_launch);
+  std::int64_t trace_t0 = 0;
+  ACROBAT_TRACE(tracer_, trace_t0 = tracer_->now());
   const Kernel& k = registry_.kernel(kernel_id);
   const std::size_t n = ids.size();
   stats_.kernel_invocations[static_cast<std::size_t>(kernel_id)] +=
@@ -1130,6 +1161,13 @@ void Engine::execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids,
   }
 
   for (std::size_t i = 0; i < n; ++i) nodes_[ids[i]].data = outs[i];
+  ACROBAT_TRACE(tracer_, {
+    const std::uint8_t path =
+        fused ? (matmul_family(k.op) ? 2 : 1) : 0;
+    tracer_->span(trace::EventKind::kBatch, trace_t0, kernel_id,
+                  static_cast<std::int32_t>(n), k.variant,
+                  static_cast<std::uint8_t>(path | (merge_launch ? 4 : 0)));
+  });
   // The replay log is only meaningful while node ids are append-only;
   // recycling reuses them, and serving has no backward pass to feed.
   if (!cfg_.recycle) exec_log_.push_back(ExecBatch{kernel_id, ids});

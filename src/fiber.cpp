@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "trace/trace.h"
+
 namespace acrobat {
 namespace {
 
@@ -45,6 +47,7 @@ void FiberScheduler::spawn(FiberTask task, int tag) {
   f->ctx.uc_link = &main_ctx_;
   makecontext(&f->ctx, reinterpret_cast<void (*)()>(&FiberScheduler::trampoline), 0);
   fibers_.push_back(std::move(f));
+  ACROBAT_TRACE(tracer_, tracer_->instant(trace::EventKind::kFiberSpawn, tag));
 }
 
 std::size_t FiberScheduler::step_ready() {
@@ -82,13 +85,16 @@ bool FiberScheduler::any_blocked() const {
 
 void FiberScheduler::wake_blocked() {
   assert(current_ < 0 && "wake_blocked from inside a fiber");
-  bool woke = false;
+  int woke = 0;
   for (auto& f : fibers_)
     if (f->state == Fiber::kBlocked) {
       f->state = Fiber::kReady;
-      woke = true;
+      ++woke;
     }
-  if (woke) ++idle_triggers_;
+  if (woke > 0) {
+    ++idle_triggers_;
+    ACROBAT_TRACE(tracer_, tracer_->instant(trace::EventKind::kFiberWake, woke));
+  }
 }
 
 std::size_t FiberScheduler::reap_done() {
@@ -107,6 +113,7 @@ std::size_t FiberScheduler::reap_done() {
     f->tag = -1;
     pool_.push_back(std::move(f));
     ++reaped;
+    ACROBAT_TRACE(tracer_, tracer_->instant(trace::EventKind::kFiberReap, tag));
     // The request's stack and captures are gone; its engine-side state
     // (node span, arena epoch) is retired here, on the scheduler side.
     if (reap_hook_ && tag >= 0) reap_hook_(tag);
@@ -146,6 +153,8 @@ void FiberScheduler::block_current() {
   assert(current_ >= 0 && "block_current outside a fiber");
   const std::size_t idx = static_cast<std::size_t>(current_);
   fibers_[idx]->state = Fiber::kBlocked;
+  ACROBAT_TRACE(tracer_,
+                tracer_->instant(trace::EventKind::kFiberBlock, fibers_[idx]->tag));
   swapcontext(&fibers_[idx]->ctx, &main_ctx_);
 }
 

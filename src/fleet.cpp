@@ -15,13 +15,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <memory>
 #include <span>
+#include <string>
 #include <thread>
 
 #include "exec/aot.h"
 #include "runtime/fiber.h"
 #include "serve/spsc.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace acrobat::fleet {
 namespace {
@@ -106,6 +109,13 @@ struct FleetShard {
   std::atomic<int> outstanding{0};
   ShardReport report;
 
+  // Observability (DESIGN.md §9), as in serve.cpp's Shard: worker-owned
+  // ring + SPSC tick stream, both preallocated before the thread starts.
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<SpscQueue<trace::MetricsTick>> ticks;
+  std::uint64_t dropped_ticks = 0;
+  std::vector<std::string> metric_names;
+
   void run_worker();
 };
 
@@ -185,8 +195,58 @@ void FleetShard::run_worker() {
   });
   const std::unique_ptr<serve::BatchPolicy> policy = make_fleet_policy(opts->policy);
 
+  // Observability (DESIGN.md §9): one ring per shard, shared by every
+  // engine slot (the shard is single-threaded, so the single-writer
+  // contract holds across slots).
+  trace::Tracer* const tr = tracer.get();
+  for (EngineSlot& s : slots) s.eng->set_tracer(tr);
+  fs.set_tracer(tr);
+  trace::MetricsRegistry mreg;
+  int m_live = -1, m_queued = -1, m_done = -1, m_shed = -1, m_launches = -1,
+      m_hits = -1, m_live_nodes = -1, m_arena_kb = -1;
+  if (tr != nullptr) {
+    m_live = mreg.add("live_requests");
+    m_queued = mreg.add("queued_requests");
+    m_done = mreg.add("completed_requests");
+    m_shed = mreg.add("shed_requests");
+    m_launches = mreg.add("kernel_launches");
+    m_hits = mreg.add("memo_hit_permille");
+    m_live_nodes = mreg.add("live_nodes");
+    m_arena_kb = mreg.add("arena_kb");
+    metric_names = mreg.names();
+  }
+
   std::deque<int> queue;      // arrived, not yet admitted (EDF order after triage)
   std::deque<int> in_flight;  // admitted, not yet completed (admission order)
+
+  long long last_tick_trigger = 0;
+  const auto maybe_tick = [&](std::int64_t t_now) {
+    if (fs.idle_triggers() - last_tick_trigger <
+        static_cast<long long>(opts->trace.tick_every_triggers))
+      return;
+    last_tick_trigger = fs.idle_triggers();
+    long long launches = 0, hits = 0, misses = 0;
+    std::size_t live_nodes = 0, arena = 0;
+    for (const EngineSlot& s : slots) {
+      launches += s.eng->stats().kernel_launches;
+      hits += s.eng->stats().sched_cache_hits;
+      misses += s.eng->stats().sched_cache_misses;
+      live_nodes += s.eng->live_nodes();
+      arena += s.eng->memory().arena_active_bytes;
+    }
+    mreg.set(m_live, static_cast<double>(in_flight.size()));
+    mreg.set(m_queued, static_cast<double>(queue.size()));
+    mreg.set(m_done, static_cast<double>(report.requests));
+    mreg.set(m_shed, static_cast<double>(report.shed));
+    mreg.set(m_launches, static_cast<double>(launches));
+    mreg.set(m_hits, hits + misses > 0
+                         ? 1000.0 * static_cast<double>(hits) /
+                               static_cast<double>(hits + misses)
+                         : 0.0);
+    mreg.set(m_live_nodes, static_cast<double>(live_nodes));
+    mreg.set(m_arena_kb, static_cast<double>(arena) / 1024.0);
+    if (!ticks->push(mreg.tick(t_now, index))) ++dropped_ticks;
+  };
 
   const auto now = [&] { return now_ns() - epoch_ns; };
   const auto arrival_of = [&](int id) {
@@ -231,6 +291,8 @@ void FleetShard::run_worker() {
     rec.admit_ns = now();
     in_flight.push_back(id);
     const int model_id = (*trace)[static_cast<std::size_t>(id)].model_id;
+    ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kAdmit, id, model_id,
+                                  rec.admit_ns - rec.arrival_ns));
     slot_of(model_id).eng->begin_request(id);
     fs.spawn([&, id, model_id] {
       RequestRecord& r = (*records)[static_cast<std::size_t>(id)];
@@ -250,6 +312,17 @@ void FleetShard::run_worker() {
         if (opts->collect_outputs) flat.insert(flat.end(), t.data, t.data + t.numel());
       }
       r.completion_ns = now();
+      ACROBAT_TRACE(tr, {
+        // Slow-request exemplar: the default threshold is the request's own
+        // class deadline — "what did the worst SLO-missing request do".
+        std::int64_t slow_ns = opts->trace.slow_threshold_ns;
+        if (slow_ns <= 0)
+          slow_ns = class_deadline_ns(
+              opts->policy, (*trace)[static_cast<std::size_t>(id)].latency_class);
+        const std::int64_t lat = r.completion_ns - r.arrival_ns;
+        if (slow_ns > 0 && lat >= slow_ns)
+          tr->capture_exemplar(id, r.admit_ns, r.completion_ns, lat);
+      });
       if (opts->collect_outputs) r.output = std::move(flat);
       ++report.requests;
       outstanding.fetch_sub(1, std::memory_order_relaxed);
@@ -266,6 +339,10 @@ void FleetShard::run_worker() {
     rec.completion_ns = rec.admit_ns;
     rec.shed = true;
     ++report.shed;
+    ACROBAT_TRACE(tr, tr->instant(
+                          trace::EventKind::kShed, id,
+                          class_idx((*trace)[static_cast<std::size_t>(id)].latency_class),
+                          rec.completion_ns - rec.arrival_ns));
     outstanding.fetch_sub(1, std::memory_order_relaxed);
     const bool pushed = outbox.push(id);
     assert(pushed && "outbox sized for the whole trace");
@@ -291,12 +368,15 @@ void FleetShard::run_worker() {
       v.now_ns = t;
       v.arrival_ns = arrival_of(id);
       v.latency_class = (*trace)[static_cast<std::size_t>(id)].latency_class;
-      const Triage tr = policy->triage(v);
-      if (tr.verdict == Verdict::kShed) {
+      const Triage tg = policy->triage(v);
+      if (tg.verdict == Verdict::kShed) {
         shed_request(id);
         continue;
       }
-      cands.push_back(Cand{id, tr.deadline_ns, tr.verdict == Verdict::kDefer});
+      if (tg.verdict == Verdict::kDefer)
+        ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kTriage, id,
+                                      class_idx(v.latency_class)));
+      cands.push_back(Cand{id, tg.deadline_ns, tg.verdict == Verdict::kDefer});
     }
     // stable: FIFO within equal (defer, deadline) — arrival order survives.
     std::stable_sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
@@ -324,6 +404,7 @@ void FleetShard::run_worker() {
     drain_inbox();
     fs.reap_done();
     prune_in_flight();
+    ACROBAT_TRACE(tr, maybe_tick(now()));
     if (in_flight.empty() && queue.empty()) {
       if (inbox.closed() && inbox.empty_hint()) break;
       relax();  // idle: poll for the next arrival
@@ -371,9 +452,32 @@ std::vector<std::unique_ptr<FleetShard>> make_shards(
     sh->opts = &opts;
     sh->records = &records;
     sh->epoch_ns = epoch;
+    if (opts.trace.enabled) {
+      sh->tracer = std::make_unique<trace::Tracer>(s, opts.trace.config);
+      sh->tracer->set_epoch(epoch);
+      sh->ticks = std::make_unique<SpscQueue<trace::MetricsTick>>(4096);
+    }
     shards.push_back(std::move(sh));
   }
   return shards;
+}
+
+// Run-end trace assembly, shared by both drivers: drain the last metric
+// ticks, unroll every ring (dispatcher = tid 0, shard s = tid s + 1).
+trace::TraceDump finish_trace(const FleetOptions& opts, trace::TraceDump dump,
+                              const std::vector<std::unique_ptr<FleetShard>>& shards,
+                              const trace::Tracer* disp_tracer) {
+  if (!opts.trace.enabled) return dump;
+  trace::MetricsTick t;
+  for (auto& sh : shards)
+    while (sh->ticks->pop(t)) dump.ticks.push_back(t);
+  dump.tracks.push_back(trace::dump_track(*disp_tracer, 0, "dispatcher"));
+  for (std::size_t s = 0; s < shards.size(); ++s)
+    dump.tracks.push_back(trace::dump_track(*shards[s]->tracer, static_cast<int>(s) + 1,
+                                            "shard" + std::to_string(s)));
+  dump.metric_names = shards.front()->metric_names;
+  for (auto& sh : shards) dump.dropped_ticks += sh->dropped_ticks;
+  return dump;
 }
 
 // Routes one request: restrict to the class's affinity set (empty = all
@@ -415,9 +519,8 @@ FleetResult finalize_result(const std::vector<Request>& trace, const FleetPolicy
   FleetResult res;
   res.records = std::move(records);
 
-  std::vector<double> lats;
-  lats.reserve(res.records.size());
-  std::array<std::vector<double>, serve::kNumLatencyClasses> class_lats;
+  serve::LatencyHisto lat;
+  std::array<serve::LatencyHisto, serve::kNumLatencyClasses> class_lat;
   std::array<int, serve::kNumLatencyClasses> met{};
   int met_total = 0, completed = 0;
   std::int64_t first_arrival = res.records.empty() ? 0 : res.records.front().arrival_ns;
@@ -437,18 +540,18 @@ FleetResult finalize_result(const std::vector<Request>& trace, const FleetPolicy
     }
     ++completed;
     const double ms = r.latency_ms();
-    lats.push_back(ms);
-    class_lats[static_cast<std::size_t>(ci)].push_back(ms);
+    lat.add(ms);
+    class_lat[static_cast<std::size_t>(ci)].add(ms);
     const std::int64_t d = class_deadline_ns(pc, rq.latency_class);
     if (d <= 0 || r.completion_ns - r.arrival_ns <= d) {
       ++met[static_cast<std::size_t>(ci)];
       ++met_total;
     }
   }
-  res.latency_ms = serve::Percentiles::of(std::move(lats));
+  res.latency_ms = serve::Percentiles::from(lat);
   for (int c = 0; c < serve::kNumLatencyClasses; ++c) {
     ClassReport& cr = res.by_class[static_cast<std::size_t>(c)];
-    cr.latency_ms = serve::Percentiles::of(std::move(class_lats[static_cast<std::size_t>(c)]));
+    cr.latency_ms = serve::Percentiles::from(class_lat[static_cast<std::size_t>(c)]);
     cr.goodput = cr.requests > 0
                      ? static_cast<double>(met[static_cast<std::size_t>(c)]) / cr.requests
                      : 1.0;
@@ -574,19 +677,41 @@ FleetResult serve_fleet(const ModelRegistry& reg, const std::vector<Request>& tr
   const std::int64_t epoch = now_ns();
   std::vector<std::unique_ptr<FleetShard>> shards =
       make_shards(reg, trace, opts, records, epoch);
+  // The dispatcher thread owns its own ring (single-writer discipline).
+  std::unique_ptr<trace::Tracer> disp_tracer;
+  if (opts.trace.enabled) {
+    disp_tracer = std::make_unique<trace::Tracer>(0, opts.trace.config);
+    disp_tracer->set_epoch(epoch);
+  }
+  trace::Tracer* const dtr = disp_tracer.get();
+  trace::TraceDump dump;
+  const auto drain_ticks = [&] {
+    if (!opts.trace.enabled) return;
+    trace::MetricsTick t;
+    for (auto& sh : shards)
+      while (sh->ticks->pop(t)) dump.ticks.push_back(t);
+  };
   std::vector<std::thread> workers;
   workers.reserve(shards.size());
   for (auto& sh : shards) workers.emplace_back([&shard = *sh] { shard.run_worker(); });
 
   // Open-loop replay: arrivals never wait for the server (DESIGN.md §7).
   for (const Request& req : trace) {
-    while (now_ns() - epoch < req.arrival_ns) relax();
-    dispatch_to(*shards[static_cast<std::size_t>(route(req, opts, shards))], req.id);
+    while (now_ns() - epoch < req.arrival_ns) {
+      drain_ticks();
+      relax();
+    }
+    const int target = route(req, opts, shards);
+    dispatch_to(*shards[static_cast<std::size_t>(target)], req.id);
+    ACROBAT_TRACE(dtr, dtr->instant(trace::EventKind::kDispatch, req.id, target));
   }
   for (auto& sh : shards) sh->inbox.close();
   for (std::thread& w : workers) w.join();
 
-  return finalize_result(trace, opts.policy, std::move(records), std::move(shards));
+  dump = finish_trace(opts, std::move(dump), shards, dtr);
+  FleetResult res = finalize_result(trace, opts.policy, std::move(records), std::move(shards));
+  res.trace = std::move(dump);
+  return res;
 }
 
 // --------------------------------------------------------------- closed loop
@@ -623,6 +748,19 @@ FleetResult serve_fleet_closed(const ModelRegistry& reg, const ClosedLoopSpec& s
   const std::int64_t epoch = now_ns();
   std::vector<std::unique_ptr<FleetShard>> shards =
       make_shards(reg, trace, opts, records, epoch);
+  std::unique_ptr<trace::Tracer> disp_tracer;
+  if (opts.trace.enabled) {
+    disp_tracer = std::make_unique<trace::Tracer>(0, opts.trace.config);
+    disp_tracer->set_epoch(epoch);
+  }
+  trace::Tracer* const dtr = disp_tracer.get();
+  trace::TraceDump dump;
+  const auto drain_ticks = [&] {
+    if (!opts.trace.enabled) return;
+    trace::MetricsTick t;
+    for (auto& sh : shards)
+      while (sh->ticks->pop(t)) dump.ticks.push_back(t);
+  };
   std::vector<std::thread> workers;
   workers.reserve(shards.size());
   for (auto& sh : shards) workers.emplace_back([&shard = *sh] { shard.run_worker(); });
@@ -665,14 +803,20 @@ FleetResult serve_fleet_closed(const ModelRegistry& reg, const ClosedLoopSpec& s
       rq.arrival_ns = now_rel();  // issue time IS the arrival in a closed loop
       records[static_cast<std::size_t>(id)].arrival_ns = rq.arrival_ns;
       outstanding_id[ci] = id;
-      dispatch_to(*shards[static_cast<std::size_t>(route(rq, opts, shards))], id);
+      const int target = route(rq, opts, shards);
+      dispatch_to(*shards[static_cast<std::size_t>(target)], id);
+      ACROBAT_TRACE(dtr, dtr->instant(trace::EventKind::kDispatch, id, target));
     }
+    drain_ticks();
     relax();
   }
   for (auto& sh : shards) sh->inbox.close();
   for (std::thread& w : workers) w.join();
 
-  return finalize_result(trace, opts.policy, std::move(records), std::move(shards));
+  dump = finish_trace(opts, std::move(dump), shards, dtr);
+  FleetResult res = finalize_result(trace, opts.policy, std::move(records), std::move(shards));
+  res.trace = std::move(dump);
+  return res;
 }
 
 }  // namespace acrobat::fleet

@@ -76,6 +76,7 @@ RunResult run_with_engine(const Prepared& p, const models::Dataset& ds, const Ru
   RunResult r;
   const std::int64_t t0 = now_ns();
   Engine engine(p.compiled.module.registry, ec);
+  engine.set_tracer(opts.tracer);
 
   std::vector<TRef> wrefs, drefs;
   wrefs.reserve(p.weights.tensors.size());
@@ -111,6 +112,7 @@ RunResult run_with_engine(const Prepared& p, const models::Dataset& ds, const Ru
       }
       if (use_fibers) {
         FiberScheduler fs;
+        fs.set_tracer(opts.tracer);
         engine.set_fiber_scheduler(&fs);
         std::vector<FiberTask> tasks;
         tasks.reserve(n);

@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <memory>
 #include <span>
+#include <string>
 #include <thread>
 
 #include "exec/aot.h"
@@ -17,6 +19,7 @@
 #include "serve/spsc.h"
 #include "support/rng.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace acrobat::serve {
 namespace {
@@ -98,6 +101,16 @@ struct Shard {
   std::atomic<int> outstanding{0};  // dispatched - completed (least-loaded reads)
   ShardReport report;
 
+  // Observability (DESIGN.md §9): ring + tick stream exist only when
+  // ServeOptions::trace.enabled; both are preallocated before the worker
+  // starts, written only by the worker thread, and read after join (the
+  // ticks queue is the one live cross-thread channel — SPSC, like the
+  // inbox). metric_names is worker-written before the first tick.
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<SpscQueue<trace::MetricsTick>> ticks;
+  std::uint64_t dropped_ticks = 0;
+  std::vector<std::string> metric_names;
+
   void run_worker();
 };
 
@@ -126,8 +139,51 @@ void Shard::run_worker() {
   fs.set_reap_hook([&eng](int request_id) { eng.retire_request(request_id); });
   const std::unique_ptr<BatchPolicy> policy = make_policy(opts->policy);
 
+  // Observability (DESIGN.md §9): everything below is preallocated here —
+  // the ring in the Tracer, the gauge slots in the registry — so tracing
+  // adds zero steady-state allocation to the worker.
+  trace::Tracer* const tr = tracer.get();
+  eng.set_tracer(tr);
+  fs.set_tracer(tr);
+  std::int64_t slow_ns = opts->trace.slow_threshold_ns;
+  if (slow_ns <= 0 && opts->policy.kind == PolicyKind::kDeadline)
+    slow_ns = opts->policy.slo_ns;
+  trace::MetricsRegistry reg;
+  int m_live = -1, m_queued = -1, m_done = -1, m_launches = -1, m_hits = -1,
+      m_live_nodes = -1, m_arena_kb = -1;
+  if (tr != nullptr) {
+    m_live = reg.add("live_requests");
+    m_queued = reg.add("queued_requests");
+    m_done = reg.add("completed_requests");
+    m_launches = reg.add("kernel_launches");
+    m_hits = reg.add("memo_hit_permille");
+    m_live_nodes = reg.add("live_nodes");
+    m_arena_kb = reg.add("arena_kb");
+    metric_names = reg.names();
+  }
   std::deque<int> queue;      // arrived at this shard, not yet admitted
   std::deque<int> in_flight;  // admitted, not yet completed (arrival order)
+
+  long long last_tick_trigger = 0;
+  const auto maybe_tick = [&](std::int64_t t_now) {
+    if (fs.idle_triggers() - last_tick_trigger <
+        static_cast<long long>(opts->trace.tick_every_triggers))
+      return;
+    last_tick_trigger = fs.idle_triggers();
+    const ActivityStats& st = eng.stats();
+    const long long probes = st.sched_cache_hits + st.sched_cache_misses;
+    reg.set(m_live, static_cast<double>(in_flight.size()));
+    reg.set(m_queued, static_cast<double>(queue.size()));
+    reg.set(m_done, static_cast<double>(report.requests));
+    reg.set(m_launches, static_cast<double>(st.kernel_launches));
+    reg.set(m_hits, probes > 0 ? 1000.0 * static_cast<double>(st.sched_cache_hits) /
+                                     static_cast<double>(probes)
+                               : 0.0);
+    reg.set(m_live_nodes, static_cast<double>(eng.live_nodes()));
+    reg.set(m_arena_kb,
+            static_cast<double>(eng.memory().arena_active_bytes) / 1024.0);
+    if (!ticks->push(reg.tick(t_now, index))) ++dropped_ticks;
+  };
 
   const auto now = [&] { return now_ns() - epoch_ns; };
   const auto drain_inbox = [&] {
@@ -161,6 +217,9 @@ void Shard::run_worker() {
       RequestRecord& rec = (*records)[static_cast<std::size_t>(id)];
       rec.shard = index;
       rec.admit_ns = now();
+      ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kAdmit, id,
+                                    (*trace)[static_cast<std::size_t>(id)].model_id,
+                                    rec.admit_ns - rec.arrival_ns));
       in_flight.push_back(id);
       eng.begin_request(id);  // pins this epoch's arena pages until retirement
       fs.spawn([&, id] {
@@ -180,6 +239,11 @@ void Shard::run_worker() {
           if (opts->collect_outputs) flat.insert(flat.end(), t.data, t.data + t.numel());
         }
         r.completion_ns = now();
+        ACROBAT_TRACE(tr, {
+          const std::int64_t lat = r.completion_ns - r.arrival_ns;
+          if (slow_ns > 0 && lat >= slow_ns)
+            tr->capture_exemplar(id, r.admit_ns, r.completion_ns, lat);
+        });
         if (opts->collect_outputs) r.output = std::move(flat);
         ++report.requests;
         outstanding.fetch_sub(1, std::memory_order_relaxed);
@@ -201,6 +265,7 @@ void Shard::run_worker() {
     drain_inbox();
     fs.reap_done();
     prune_in_flight();
+    ACROBAT_TRACE(tr, maybe_tick(now()));
     if (in_flight.empty() && queue.empty()) {
       if (inbox.closed() && inbox.empty_hint()) break;
       relax();  // idle: poll for the next arrival (open-loop clock)
@@ -367,11 +432,31 @@ ServeResult serve(const harness::Prepared& p, const models::Dataset& ds,
     sh->trace = &trace;
     sh->opts = &opts;
     sh->records = &res.records;
+    if (opts.trace.enabled) {
+      sh->tracer = std::make_unique<trace::Tracer>(s, opts.trace.config);
+      sh->ticks = std::make_unique<SpscQueue<trace::MetricsTick>>(4096);
+    }
     shards.push_back(std::move(sh));
   }
+  // The dispatcher thread gets its own ring (single-writer discipline: it
+  // must never write a shard's ring).
+  std::unique_ptr<trace::Tracer> disp_tracer;
+  if (opts.trace.enabled)
+    disp_tracer = std::make_unique<trace::Tracer>(0, opts.trace.config);
+  trace::Tracer* const dtr = disp_tracer.get();
+  const auto drain_ticks = [&] {
+    if (!opts.trace.enabled) return;
+    trace::MetricsTick t;
+    for (auto& sh : shards)
+      while (sh->ticks->pop(t)) res.trace.ticks.push_back(t);
+  };
 
   const std::int64_t epoch = now_ns();
-  for (auto& sh : shards) sh->epoch_ns = epoch;
+  for (auto& sh : shards) {
+    sh->epoch_ns = epoch;
+    if (sh->tracer) sh->tracer->set_epoch(epoch);
+  }
+  if (dtr != nullptr) dtr->set_epoch(epoch);
   std::vector<std::thread> workers;
   workers.reserve(shards.size());
   for (auto& sh : shards) workers.emplace_back([&shard = *sh] { shard.run_worker(); });
@@ -379,7 +464,10 @@ ServeResult serve(const harness::Prepared& p, const models::Dataset& ds,
   // Open-loop dispatcher: replay the trace in real time, yielding while it
   // waits so shard workers get the core between arrivals.
   for (const Request& req : trace) {
-    while (now_ns() - epoch < req.arrival_ns) relax();
+    while (now_ns() - epoch < req.arrival_ns) {
+      drain_ticks();
+      relax();
+    }
     int target = 0;
     if (opts.dispatch == DispatchKind::kRoundRobin) {
       target = req.id % nshards;
@@ -399,25 +487,37 @@ ServeResult serve(const harness::Prepared& p, const models::Dataset& ds,
     const bool pushed = sh.inbox.push(req.id);
     assert(pushed && "inbox sized for the whole trace");
     (void)pushed;
+    ACROBAT_TRACE(dtr, dtr->instant(trace::EventKind::kDispatch, req.id, target));
   }
   for (auto& sh : shards) sh->inbox.close();
   for (std::thread& w : workers) w.join();
 
-  std::vector<double> lats;
-  lats.reserve(res.records.size());
+  // Latency aggregation is histogram-backed (serve/stats.h): O(1) memory
+  // at any request count — no per-sample storage on the serve path.
+  LatencyHisto lat;
   std::int64_t last_completion = 0;
   const std::int64_t first_arrival = trace.empty() ? 0 : trace.front().arrival_ns;
   for (const RequestRecord& r : res.records) {
     assert(r.completion_ns >= 0 && "every request must complete");
-    lats.push_back(r.latency_ms());
+    lat.add(r.latency_ms());
     last_completion = std::max(last_completion, r.completion_ns);
   }
-  res.latency_ms = Percentiles::of(std::move(lats));
+  res.latency_ms = Percentiles::from(lat);
   res.makespan_ms = static_cast<double>(last_completion - first_arrival) * 1e-6;
   if (res.makespan_ms > 0)
     res.throughput_rps =
         static_cast<double>(trace.size()) / (res.makespan_ms * 1e-3);
   for (auto& sh : shards) res.shards.push_back(std::move(sh->report));
+  if (opts.trace.enabled) {
+    drain_ticks();
+    res.trace.tracks.push_back(trace::dump_track(*disp_tracer, 0, "dispatcher"));
+    for (int s = 0; s < nshards; ++s)
+      res.trace.tracks.push_back(
+          trace::dump_track(*shards[static_cast<std::size_t>(s)]->tracer, s + 1,
+                            "shard" + std::to_string(s)));
+    res.trace.metric_names = shards[0]->metric_names;
+    for (auto& sh : shards) res.trace.dropped_ticks += sh->dropped_ticks;
+  }
   return res;
 }
 

@@ -47,13 +47,20 @@ std::vector<serve::Request> spread_trace(int n, std::size_t n_inputs,
 }
 
 void test_percentiles() {
+  // Percentiles are histogram-backed (DESIGN.md §9): quantiles land within
+  // the bucket resolution (~4.4% relative) of exact nearest-rank, while
+  // count/mean/max stay exact. tests/test_trace.cpp checks the error bound
+  // systematically; this is the serve-facing contract.
+  const auto tol = [](double v) {
+    return v * (serve::LatencyHisto::kRelError + 0.01);
+  };
   std::vector<double> xs;
   for (int i = 100; i >= 1; --i) xs.push_back(i);
   const serve::Percentiles p = serve::Percentiles::of(xs);
-  CHECK_EQ(static_cast<int>(p.p50), 50);
-  CHECK_EQ(static_cast<int>(p.p95), 95);
-  CHECK_EQ(static_cast<int>(p.p99), 99);
-  CHECK_NEAR(p.mean, 50.5, 1e-9);
+  CHECK_NEAR(p.p50, 50.0, tol(50.0));
+  CHECK_NEAR(p.p95, 95.0, tol(95.0));
+  CHECK_NEAR(p.p99, 99.0, tol(99.0));
+  CHECK_NEAR(p.mean, 50.5, 1e-9);  // exact: tracked outside the buckets
   CHECK_EQ(static_cast<int>(p.max), 100);
   CHECK_EQ(p.count, 100);
   CHECK_EQ(serve::Percentiles::of({}).count, 0);
@@ -62,10 +69,14 @@ void test_percentiles() {
   std::vector<double> ys;
   for (int i = 1; i <= 1000; ++i) ys.push_back(i);
   const serve::Percentiles q = serve::Percentiles::of(ys);
-  CHECK_EQ(static_cast<int>(q.p99), 990);
-  CHECK_EQ(static_cast<int>(q.p999), 999);
+  CHECK_NEAR(q.p99, 990.0, tol(990.0));
+  CHECK_NEAR(q.p999, 999.0, tol(999.0));
+  CHECK(q.p999 >= q.p99);
   // Deadline attainment: fraction of samples at or under the deadline.
-  CHECK_NEAR(q.attainment(500.0), 0.5, 1e-12);
+  // Interior deadlines interpolate inside a bucket (±5%); at or past the
+  // observed max the answer is exact — "every request met its SLO" must
+  // read 1.0, and a deadline below every sample must read 0.
+  CHECK_NEAR(q.attainment(500.0), 0.5, 0.05);
   CHECK_NEAR(q.attainment(0.5), 0.0, 1e-12);
   CHECK_NEAR(q.attainment(1000.0), 1.0, 1e-12);
   CHECK_NEAR(q.attainment(2000.0), 1.0, 1e-12);

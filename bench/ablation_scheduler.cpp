@@ -148,6 +148,55 @@ void serve_steady_row(CounterJson& json) {
            {{"p50_ms", res.latency_ms.p50}, {"p99_ms", res.latency_ms.p99}});
 }
 
+// Token-level continuous batching counters: one t=0 Decoder cohort under
+// the same deadline recipe (min_batch == max_admit == cohort pins the
+// first trigger to arrival order; every later trigger is the cohort's
+// decode steps, re-admitted at each token boundary). Session lengths are
+// data-dependent but exact for the fixed dataset seed, so triggers,
+// tokens, and memo hits are machine-independent integers — the golden's
+// view of the iteration-level scheduler.
+void decode_steady_row(CounterJson& json) {
+  const models::ModelSpec& spec = models::model_by_name("Decoder");
+  const models::Dataset ds = spec.build_dataset(false, 8, 29);
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+
+  const int n = 12;
+  std::vector<serve::Request> trace;
+  for (int i = 0; i < n; ++i)
+    trace.push_back(serve::Request{i, static_cast<std::size_t>(i) % ds.inputs.size(), 0});
+  serve::ServeOptions so;
+  so.launch_overhead_ns = kLaunchNs;
+  so.recycle = true;  // session checkpoints require the epoch protocol
+  so.sched_memo = true;
+  so.policy.kind = serve::PolicyKind::kDeadline;
+  so.policy.min_batch = n;
+  so.policy.max_admit = n;
+  so.policy.slo_ns = 10'000'000'000;
+  so.policy.max_hold_ns = 10'000'000'000;
+  const serve::ServeResult res = serve::serve(p, ds, trace, so);
+
+  const ActivityStats& s = res.shards.at(0).stats;
+  const double hit_pct =
+      s.sched_cache_hits + s.sched_cache_misses > 0
+          ? 100.0 * static_cast<double>(s.sched_cache_hits) /
+                static_cast<double>(s.sched_cache_hits + s.sched_cache_misses)
+          : 0.0;
+  std::printf("decode_steady (Decoder, %d req, cohort %d): triggers %lld | "
+              "tokens %lld | memo hit %.0f%% | flat %lld stacked %lld | "
+              "launches %lld\n",
+              n, n, res.shards.at(0).triggers, res.tokens, hit_pct,
+              s.flat_batches, s.stacked_batches, s.kernel_launches);
+  json.add("decode_steady/decoder", s,
+           {{"requests", n},
+            {"triggers", res.shards.at(0).triggers},
+            {"shed", 0},
+            {"tokens", res.tokens},
+            {"cancelled", res.cancelled}},
+           {{"ttft_p50_ms", res.ttft_ms.p50},
+            {"itl_p99_ms", res.inter_token_ms.p99},
+            {"tokens_per_sec", res.tokens_per_sec}});
+}
+
 void fleet_steady_row(CounterJson& json) {
   fleet::ModelRegistry reg;
   reg.add(models::model_by_name("TreeLSTM"), false,
@@ -245,6 +294,7 @@ int main() {
   // per-PR trajectory too.
   std::printf("\n");
   serve_steady_row(json);
+  decode_steady_row(json);
   fleet_steady_row(json);
   // The perf trajectory artifact: exact counters + timing context per
   // config, diffed (counters only) against bench/golden/BENCH_engine.json

@@ -163,6 +163,32 @@ class Engine {
   // batching across requests, not just across a closed instance batch.
   void set_admission_hook(std::function<void()> hook) { admission_hook_ = std::move(hook); }
 
+  // --- iteration-level scheduling (DESIGN.md §7; ir::Op::kStepKeep) -------
+  //
+  // A generative session calls session_step once per emitted token, after
+  // the step's sync has materialized its state. Under recycling the call
+  // checkpoints the carried state into an engine-owned per-session buffer
+  // (the KV-cache analogue: persistent across steps, retired with the
+  // session), retires the step's transient node span under the existing
+  // epoch protocol, and re-enters the kept state as a depth-0 materialized
+  // node — so session memory plateaus at peak concurrent sessions, not
+  // token count, and steady-state step triggers hit the schedule cache.
+  // Without recycling it is a pass-through (the solo/bench path), which is
+  // what makes a single-session serve decode bitwise-identical to a solo
+  // run. The step hook, when set, is the serve loop's per-token admission
+  // gate: kPark parks the fiber until the shard re-admits the session (the
+  // hook is re-consulted after every unpark, so a shard can cancel a parked
+  // session mid-stream); kStop cancels — the program sees cont == 0 and
+  // exits through its tail.
+  enum class StepVerdict { kRun, kPark, kStop };
+  using StepHook = std::function<StepVerdict(int instance)>;
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+  struct StepResult {
+    TRef state;
+    long long cont = 1;
+  };
+  StepResult session_step(TRef state, const InstCtx& ctx);
+
   const EngineStats& stats() const { return stats_; }
   const KernelRegistry& registry() const { return registry_; }
 
@@ -216,6 +242,13 @@ class Engine {
     // first request and stay flat for the rest of the trace
     // (tests/test_fleet.cpp soak).
     std::size_t persist_arena_high_water_bytes = 0;
+    // Per-session persistent state (session_step checkpoints). Buffers are
+    // pooled across sessions, so bytes-ever-allocated plateaus at peak
+    // concurrent sessions while live counts dip as sessions retire — the
+    // decode soak's plateau gauges (tests/test_decode.cpp).
+    std::size_t session_buffers_live = 0;
+    std::size_t session_buffers_peak = 0;
+    std::size_t session_bytes_allocated = 0;  // monotone; plateaus via pool reuse
   };
   MemoryStats memory() const;
 
@@ -277,6 +310,15 @@ class Engine {
   }
   TRef record_op(int kernel_id, const TRef* ins, int n_ins, const InstCtx& ctx, int phase);
   TRef alloc_node(Node&& n, bool reusable_slot);
+  // Recycling internals shared by retire_request and session_step: retire
+  // the instance's node span (slots → free list, generations bumped) and
+  // reclaim arena pages older than every live request's admission epoch.
+  void retire_span(int instance);
+  void reclaim_arena_pages();
+  // session_step's recycle-mode checkpoint: copy the state out of the arena
+  // into the session's buffer, retire the step's span, re-stamp the session
+  // at the current epoch, and return a fresh depth-0 node over the buffer.
+  TRef checkpoint_state(TRef state, int instance);
   void execute_batch(int kernel_id, const std::vector<std::uint32_t>& ids, bool merge_launch);
   // Flat/stacked fast paths (DESIGN.md §4 "Flat elementwise execution"):
   // collapse n same-kernel ops into one run_op call when inputs line up.
@@ -400,6 +442,16 @@ class Engine {
   std::size_t live_nodes_peak_ = 0;
   long long nodes_recycled_ = 0;
   long long leaked_slots_ = 0;
+  // --- per-session persistent state (session_step; empty without decode)
+  struct SessionBuf {
+    std::unique_ptr<float[]> data;
+    std::size_t cap = 0;  // floats
+  };
+  std::unordered_map<int, SessionBuf> session_bufs_;  // instance → kept state
+  std::vector<SessionBuf> session_buf_pool_;          // retired, capacity kept
+  std::size_t session_bufs_peak_ = 0;
+  std::size_t session_floats_allocated_ = 0;
+  StepHook step_hook_;
 
   // --- scheduler scratch, reused across triggers (zero steady-state heap
   // traffic; growth events count into stats_.scheduling_allocs)

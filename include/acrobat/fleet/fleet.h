@@ -75,6 +75,13 @@ struct FleetResult {
   // (sheds and no-deadline non-completions count as misses; classes with
   // no deadline count completion itself as success).
   double goodput = 0;
+  // Decode split (zero-count without generative sessions) — merged from the
+  // per-shard token histograms, as in serve::ServeResult.
+  serve::Percentiles ttft_ms;
+  serve::Percentiles inter_token_ms;
+  long long tokens = 0;
+  int cancelled = 0;  // sessions stopped mid-stream by the token deadline
+  double tokens_per_sec = 0;
   std::array<ClassReport, serve::kNumLatencyClasses> by_class;
   std::vector<serve::ShardReport> shards;
   // Populated when FleetOptions::trace.enabled (write_chrome_json →

@@ -35,6 +35,13 @@ struct FleetPolicyConfig {
   // deadline and burn a whole service time on work that is already doomed
   // (tests/test_fleet.cpp demonstrates the goodput gap).
   std::int64_t est_service_ns = 0;
+  // Per-token deadline for generative sessions (iteration-level scheduling):
+  // a parked decode step's deadline is last_token_ns + token_deadline_ns,
+  // so EDF triage orders steps against fresh arrivals and a hopelessly
+  // stalled session is cancelled mid-stream rather than shed-at-arrival
+  // (it exits through the model's tail; RequestRecord::cancelled). <= 0
+  // disables step triage — steps are admitted ahead of arrivals untriaged.
+  std::int64_t token_deadline_ns = 0;
 };
 
 std::int64_t class_deadline_ns(const FleetPolicyConfig& cfg, serve::LatencyClass c);

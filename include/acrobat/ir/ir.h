@@ -38,6 +38,9 @@ enum class Op : std::uint8_t {
   kRet,         // return src0
   kPhase,       // current phase = attr
   kSyncSign,    // dst = int(force(src0)[0] > attr*1e-6)   — may suspend
+  kStepKeep,    // dst = tuple(kept-state tensor, continue int) — token
+                // boundary for iteration-level scheduling; may suspend
+                // (park) until the serve loop re-admits the session
 };
 
 struct Instr {
@@ -69,7 +72,7 @@ inline void finalize(Program& p, int main_idx) {
     for (const auto& f : p.funcs) {
       if (f->may_sync) continue;
       for (const Instr& ins : f->code) {
-        if (ins.op == Op::kSyncSign ||
+        if (ins.op == Op::kSyncSign || ins.op == Op::kStepKeep ||
             (ins.op == Op::kCall && p.funcs[static_cast<std::size_t>(ins.attr)]->may_sync)) {
           f->may_sync = true;
           changed = true;
@@ -138,6 +141,13 @@ class FuncBuilder {
   int sync_sign(int r, double threshold) {
     func_->may_sync = true;
     return emit(Op::kSyncSign, {r}, static_cast<std::int64_t>(threshold * 1e6));
+  }
+  // Token boundary (Engine::session_step): checkpoints the carried state
+  // into the session's persistent buffer and consults the serve loop's step
+  // hook, parking until re-admission. Returns tuple(kept state, continue).
+  int step_keep(int state) {
+    func_->may_sync = true;
+    return emit(Op::kStepKeep, {state});
   }
   void set_phase(int p) { emit_void(Op::kPhase, {}, p); }
   void ret(int r) { emit_void(Op::kRet, {r}); }

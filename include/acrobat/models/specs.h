@@ -13,9 +13,14 @@ ModelSpec make_stackrnn_spec();
 ModelSpec make_nestedrnn_spec();
 ModelSpec make_berxit_spec();
 ModelSpec make_graphrnn_spec();
+ModelSpec make_decoder_spec();
 
 // Dataset helpers shared by the model sources.
 Value dataset_tensor(Dataset& ds, const Tensor& t);  // registers + placeholder
 Dataset make_token_dataset(bool large, int batch, std::uint64_t seed, int min_len, int max_len);
+
+// Decoder's max-token cap (the bound on its data-dependent emit loop);
+// tests and benches size soaks and deadlines from it.
+int decoder_max_tokens(bool large);
 
 }  // namespace acrobat::models

@@ -87,6 +87,16 @@ class FiberScheduler {
   // fiber until the next wake.
   void block_current();
 
+  // Iteration-level scheduling (DESIGN.md §7): a decode fiber at a token
+  // boundary parks itself until the serve loop re-admits its next step.
+  // Parked is distinct from blocked — wake_blocked (the trigger wake) never
+  // resumes a parked fiber and any_blocked ignores them, so a shard full of
+  // parked sessions does not force triggers; only a targeted unpark(tag)
+  // from the admission path makes the fiber runnable again.
+  void park_current();
+  bool unpark(int tag);  // scheduler side; false if no parked fiber has tag
+  std::size_t parked() const;
+
   bool in_fiber() const { return current_ >= 0; }
 
   // Number of all-blocked wakeups performed (tests and diagnostics).
@@ -106,7 +116,7 @@ class FiberScheduler {
     std::unique_ptr<char[]> stack;
     FiberTask task;
     int tag = -1;
-    enum State { kReady, kBlocked, kDone } state = kReady;
+    enum State { kReady, kBlocked, kParked, kDone } state = kReady;
   };
 
   static void trampoline();

@@ -86,8 +86,11 @@ inline double uniform01(Rng& rng) {
   return 1.0 - static_cast<double>(bits) * (1.0 / 9007199254740992.0);
 }
 
+// llround, not truncation: casting the exponential draw toward zero shaves
+// up to 1 ns off every gap, which biases the realized arrival rate above
+// rate_rps (the bias compounds over a long trace — ~0.5 ns per gap).
 inline std::int64_t exp_gap_ns(Rng& rng, double rate_rps) {
-  return static_cast<std::int64_t>(-std::log(uniform01(rng)) / rate_rps * 1e9);
+  return std::llround(-std::log(uniform01(rng)) / rate_rps * 1e9);
 }
 
 }  // namespace detail

@@ -41,6 +41,14 @@ struct RequestView {
   std::int64_t now_ns = 0;
   std::int64_t arrival_ns = 0;
   LatencyClass latency_class = LatencyClass::kInteractive;
+  // Iteration-level scheduling (DESIGN.md §7): a parked generative session
+  // re-entering admission for its next token. last_token_ns is when it
+  // parked — a token-aware policy derives its deadline from that, not from
+  // the session's original arrival, so EDF triage and shedding keep working
+  // mid-stream.
+  bool is_step = false;
+  std::int64_t last_token_ns = -1;
+  int tokens = 0;
 };
 
 enum class Verdict : std::uint8_t {

@@ -72,10 +72,23 @@ struct RequestRecord {
   // without running because its deadline was already blown. completion_ns
   // is the shed time; `output` stays empty. Plain serve() never sheds.
   bool shed = false;
+  // Token accounting (iteration-level scheduling, DESIGN.md §7): one-shot
+  // requests keep tokens == 0 and first/last_token_ns == -1. A generative
+  // session counts one token per kStepKeep boundary; `cancelled` marks a
+  // session the policy stopped mid-stream (it still completes through the
+  // model's tail, so completion_ns and output are valid for the emitted
+  // prefix).
+  int tokens = 0;
+  std::int64_t first_token_ns = -1;
+  std::int64_t last_token_ns = -1;
+  bool cancelled = false;
   std::vector<float> output;  // when collect_outputs
 
   double latency_ms() const {
     return static_cast<double>(completion_ns - arrival_ns) * 1e-6;
+  }
+  double ttft_ms() const {
+    return static_cast<double>(first_token_ns - arrival_ns) * 1e-6;
   }
 };
 
@@ -85,6 +98,15 @@ struct ShardReport {
   long long triggers = 0;        // all-blocked wakeups (fiber scheduler)
   std::size_t max_live = 0;      // peak concurrently admitted requests
   long long stacks_allocated = 0;
+  // Token accounting: tokens emitted by generative sessions on this shard,
+  // sessions cancelled mid-stream, and the TTFT / inter-token-gap split the
+  // per-request latency histogram cannot express (a decode request's
+  // end-to-end latency hides whether it stalled on its first token or
+  // between tokens).
+  long long tokens = 0;
+  int cancelled = 0;
+  LatencyHisto ttft_ms;
+  LatencyHisto inter_token_ms;
   ActivityStats stats;           // per-activity engine buckets + launches
   // Memory watermarks (DESIGN.md §7 "Recycling"): with recycling on, the
   // node table and arena high-water mark plateau at peak concurrency over
@@ -96,6 +118,13 @@ struct ShardReport {
 struct ServeResult {
   std::vector<RequestRecord> records;  // indexed by request id
   Percentiles latency_ms;              // enqueue → completion
+  // Decode split (zero-count when the trace held no generative sessions):
+  // arrival → first token, and the gap between consecutive tokens.
+  Percentiles ttft_ms;
+  Percentiles inter_token_ms;
+  long long tokens = 0;
+  int cancelled = 0;
+  double tokens_per_sec = 0;  // tokens / makespan
   double throughput_rps = 0;
   double makespan_ms = 0;  // first arrival to last completion
   std::vector<ShardReport> shards;

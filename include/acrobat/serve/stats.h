@@ -20,6 +20,8 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <type_traits>
 #include <vector>
 
@@ -36,6 +38,17 @@ class LatencyHisto {
   static constexpr double kRelError = 0.0443;
 
   void add(double ms) {
+    // A negative or non-finite sample is always an upstream bug — the
+    // classic one being an unset completion_ns = -1 flowing through
+    // latency_ms(). Bucketing it would silently corrupt every quantile
+    // (bucket() maps it to bucket 0), so fault loudly in every build.
+    if (!(ms >= 0.0)) {
+      std::fprintf(stderr,
+                   "acrobat serve: LatencyHisto::add(%f): negative or non-finite "
+                   "sample — unset completion/arrival timestamp upstream?\n",
+                   ms);
+      std::abort();
+    }
     ++n_;
     sum_ += ms;
     if (ms > max_) max_ = ms;

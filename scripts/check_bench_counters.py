@@ -29,6 +29,10 @@ COUNTERS = (
     "requests",
     "triggers",
     "shed",
+    # Token-level decoding rows (ISSUE 8): exact for the fixed dataset seed;
+    # absent on pre-decode rows, same None == None tolerance as above.
+    "tokens",
+    "cancelled",
 )
 
 

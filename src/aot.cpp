@@ -117,6 +117,16 @@ Value AotExecutor::exec(const ir::Func& f, const Value* args, std::size_t n_args
         regs[ins.dst] = Value::integer(v > static_cast<double>(ins.attr) * 1e-6 ? 1 : 0);
         break;
       }
+      case ir::Op::kStepKeep: {
+        // Token boundary: checkpoint the carried state into the session's
+        // persistent buffer and let the serve loop's step hook park this
+        // fiber until the session is re-admitted (engine/engine.h).
+        const Engine::StepResult r =
+            engine_.session_step(regs[ins.srcs[0]].tref, st.ctx);
+        regs[ins.dst] =
+            Value::make_tuple({Value::tensor(r.state), Value::integer(r.cont)});
+        break;
+      }
     }
     ++pc;
   }

@@ -225,35 +225,35 @@ void Engine::begin_request(int instance) {
   live_requests_.emplace(instance, epoch_);
 }
 
-void Engine::retire_request(int instance) {
-  if (!cfg_.recycle) return;
+void Engine::retire_span(int instance) {
   const auto span = request_nodes_.find(instance);
-  if (span != request_nodes_.end()) {
-    for (const std::uint32_t id : span->second) {
-      Node& n = nodes_[id];
-      // A retired request's ops were all executed by its completing trigger;
-      // a still-pending node here would alias its reused slot later. Debug
-      // builds abort; Release builds must abandon the slot (it can never be
-      // reissued safely) and COUNT the leak — MemoryStats::leaked_slots
-      // surfaces it in the soak gauges instead of hiding a growing table.
-      assert(n.data != nullptr && "retiring a request with pending ops");
-      if (n.data == nullptr) {
-        ++leaked_slots_;
-        continue;
-      }
-      ++n.gen;  // stale refs now fault in debug
-      n.data = nullptr;
-      n.kernel_id = -1;
-      n.ins.clear();
-      free_slots_.push_back(id);
-      ++nodes_recycled_;
+  if (span == request_nodes_.end()) return;
+  for (const std::uint32_t id : span->second) {
+    Node& n = nodes_[id];
+    // A retired request's ops were all executed by its completing trigger;
+    // a still-pending node here would alias its reused slot later. Debug
+    // builds abort; Release builds must abandon the slot (it can never be
+    // reissued safely) and COUNT the leak — MemoryStats::leaked_slots
+    // surfaces it in the soak gauges instead of hiding a growing table.
+    assert(n.data != nullptr && "retiring a request with pending ops");
+    if (n.data == nullptr) {
+      ++leaked_slots_;
+      continue;
     }
-    span->second.clear();
-    scratch_reserve(req_span_pool_, req_span_pool_.size() + 1);
-    req_span_pool_.push_back(std::move(span->second));
-    request_nodes_.erase(span);
+    ++n.gen;  // stale refs now fault in debug
+    n.data = nullptr;
+    n.kernel_id = -1;
+    n.ins.clear();
+    free_slots_.push_back(id);
+    ++nodes_recycled_;
   }
-  live_requests_.erase(instance);
+  span->second.clear();
+  scratch_reserve(req_span_pool_, req_span_pool_.size() + 1);
+  req_span_pool_.push_back(std::move(span->second));
+  request_nodes_.erase(span);
+}
+
+void Engine::reclaim_arena_pages() {
   // Epoch reclamation: a page is dead once every request admitted at or
   // before its last allocation epoch has retired — later requests only read
   // their own (younger) nodes plus the persistent region.
@@ -261,6 +261,79 @@ void Engine::retire_request(int instance) {
   for (const auto& [inst, admitted] : live_requests_)
     min_live = std::min(min_live, admitted);
   arena_.reclaim_before(min_live);
+}
+
+void Engine::retire_request(int instance) {
+  if (!cfg_.recycle) return;
+  retire_span(instance);
+  live_requests_.erase(instance);
+  const auto sb = session_bufs_.find(instance);
+  if (sb != session_bufs_.end()) {
+    // The session's kept-state buffer returns to the pool with its capacity
+    // intact; the next admitted session adopts it instead of allocating.
+    session_buf_pool_.push_back(std::move(sb->second));
+    session_bufs_.erase(sb);
+  }
+  reclaim_arena_pages();
+}
+
+TRef Engine::checkpoint_state(TRef state, int instance) {
+  const Node& src = node(state);
+  // The step's sync already completed a trigger, so every node the step
+  // recorded — including the carried state — is materialized.
+  assert(src.data != nullptr && "session_step before the step's sync");
+  const Shape shape = src.shape;
+  const std::size_t numel = static_cast<std::size_t>(shape.numel());
+  SessionBuf& buf = session_bufs_[instance];
+  if (buf.cap < numel) {
+    if (buf.data == nullptr && !session_buf_pool_.empty() &&
+        session_buf_pool_.back().cap >= numel) {
+      buf = std::move(session_buf_pool_.back());
+      session_buf_pool_.pop_back();
+    } else {
+      buf.data.reset(new float[numel]);
+      buf.cap = numel;
+      session_floats_allocated_ += numel;
+    }
+  }
+  std::memcpy(buf.data.get(), src.data, numel * sizeof(float));
+  if (session_bufs_.size() > session_bufs_peak_) session_bufs_peak_ = session_bufs_.size();
+  // Retire the step's transient nodes (the carried state's slot included —
+  // its bits now live in the session buffer) and re-admit the session at
+  // the current epoch, so arena pages the finished steps wrote become
+  // reclaimable while the session is still live.
+  retire_span(instance);
+  live_requests_[instance] = epoch_;
+  reclaim_arena_pages();
+  // The kept state re-enters the graph as a depth-0 materialized node over
+  // the session buffer: downstream steps see a constant input (memo
+  // signatures key materialized inputs position-independently), so
+  // steady-state step triggers recur and hit the schedule cache.
+  Node n;
+  n.shape = shape;
+  n.data = buf.data.get();
+  n.instance = instance;
+  return alloc_node(std::move(n), /*reusable_slot=*/true);
+}
+
+Engine::StepResult Engine::session_step(TRef state, const InstCtx& ctx) {
+  StepResult res;
+  res.state = state;
+  if (cfg_.recycle) res.state = checkpoint_state(state, ctx.instance);
+  if (step_hook_) {
+    for (;;) {
+      const StepVerdict v = step_hook_(ctx.instance);
+      if (v == StepVerdict::kStop) {
+        res.cont = 0;
+        break;
+      }
+      if (v == StepVerdict::kRun) break;
+      assert(fibers_ != nullptr && fibers_->in_fiber() &&
+             "StepVerdict::kPark outside a fiber");
+      fibers_->park_current();
+    }
+  }
+  return res;
 }
 
 Engine::MemoryStats Engine::memory() const {
@@ -276,6 +349,9 @@ Engine::MemoryStats Engine::memory() const {
   m.leaked_slots = leaked_slots_;
   m.persist_arena_high_water_bytes =
       static_cast<std::size_t>(persist_arena_.high_water_floats()) * sizeof(float);
+  m.session_buffers_live = session_bufs_.size();
+  m.session_buffers_peak = session_bufs_peak_;
+  m.session_bytes_allocated = session_floats_allocated_ * sizeof(float);
   return m;
 }
 

@@ -158,4 +158,31 @@ void FiberScheduler::block_current() {
   swapcontext(&fibers_[idx]->ctx, &main_ctx_);
 }
 
+void FiberScheduler::park_current() {
+  assert(current_ >= 0 && "park_current outside a fiber");
+  const std::size_t idx = static_cast<std::size_t>(current_);
+  fibers_[idx]->state = Fiber::kParked;
+  ACROBAT_TRACE(tracer_,
+                tracer_->instant(trace::EventKind::kFiberBlock, fibers_[idx]->tag));
+  swapcontext(&fibers_[idx]->ctx, &main_ctx_);
+}
+
+bool FiberScheduler::unpark(int tag) {
+  assert(current_ < 0 && "unpark must run on the scheduler side, not inside a fiber");
+  for (auto& f : fibers_)
+    if (f->state == Fiber::kParked && f->tag == tag) {
+      f->state = Fiber::kReady;
+      ACROBAT_TRACE(tracer_, tracer_->instant(trace::EventKind::kFiberWake, tag));
+      return true;
+    }
+  return false;
+}
+
+std::size_t FiberScheduler::parked() const {
+  std::size_t n = 0;
+  for (const auto& f : fibers_)
+    if (f->state == Fiber::kParked) ++n;
+  return n;
+}
+
 }  // namespace acrobat

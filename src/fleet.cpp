@@ -62,6 +62,21 @@ class FleetPolicy final : public serve::BatchPolicy {
 
   Triage triage(const RequestView& v) override {
     Triage t;
+    // A decode step's clock is its inter-token gap, not the session's
+    // arrival: the deadline restarts at every token, so EDF keeps working
+    // mid-stream and a stalled session is cancelled, not ignored.
+    if (v.is_step) {
+      const std::int64_t td = cfg_.token_deadline_ns;
+      if (td <= 0 || v.last_token_ns < 0) return t;
+      t.deadline_ns = v.last_token_ns + td;
+      const std::int64_t blown_at = t.deadline_ns - cfg_.est_service_ns;
+      if (v.now_ns <= blown_at) return t;
+      const auto grace =
+          static_cast<std::int64_t>(cfg_.shed_grace * static_cast<double>(td));
+      t.verdict =
+          cfg_.shed && v.now_ns - blown_at >= grace ? Verdict::kShed : Verdict::kDefer;
+      return t;
+    }
     const std::int64_t d = class_deadline_ns(cfg_, v.latency_class);
     if (d <= 0) return t;  // no SLO: admit, sorted after every deadline class
     t.deadline_ns = v.arrival_ns + d;
@@ -145,6 +160,9 @@ void merge_mem(Engine::MemoryStats& into, const Engine::MemoryStats& from) {
   into.arena_pages_recycled += from.arena_pages_recycled;
   into.leaked_slots += from.leaked_slots;
   into.persist_arena_high_water_bytes += from.persist_arena_high_water_bytes;
+  into.session_buffers_live += from.session_buffers_live;
+  into.session_buffers_peak += from.session_buffers_peak;
+  into.session_bytes_allocated += from.session_bytes_allocated;
 }
 
 void FleetShard::run_worker() {
@@ -218,6 +236,12 @@ void FleetShard::run_worker() {
 
   std::deque<int> queue;      // arrived, not yet admitted (EDF order after triage)
   std::deque<int> in_flight;  // admitted, not yet completed (admission order)
+  // Iteration-level scheduling, as in serve.cpp: parked generative sessions
+  // waiting for their next decode step. Steps are triaged alongside fresh
+  // arrivals (FleetPolicy derives a step's deadline from its park time), so
+  // EDF ordering and shedding extend mid-stream.
+  std::deque<int> step_queue;
+  std::vector<char> awaiting(trace->size(), 0);
 
   long long last_tick_trigger = 0;
   const auto maybe_tick = [&](std::int64_t t_now) {
@@ -265,6 +289,9 @@ void FleetShard::run_worker() {
   const auto make_ctx = [&] {
     PolicyCtx c;
     c.now_ns = now();
+    // Parked sessions stay `live` (see serve.cpp): they hold session state,
+    // so the width budget bounds concurrent sessions — the memory-plateau
+    // contract. Steps are re-admitted outside the budget in admit().
     c.queued = queue.size();
     c.live = in_flight.size();
     // Unlike serve.cpp, neither deque is in arrival order here — the queue
@@ -349,20 +376,61 @@ void FleetShard::run_worker() {
     (void)pushed;
   };
 
+  // Mid-stream cancel: a decode step whose token deadline is blown past
+  // grace is not shed (its session already ran and holds valid output) —
+  // the fiber is unparked with `cancelled` set, so its next step-hook
+  // consult returns kStop and the session exits through the model's tail.
+  const auto cancel_session = [&](int id) {
+    RequestRecord& rec = (*records)[static_cast<std::size_t>(id)];
+    rec.cancelled = true;
+    ++report.cancelled;
+    ACROBAT_TRACE(tr, tr->instant(
+                          trace::EventKind::kShed, id,
+                          class_idx((*trace)[static_cast<std::size_t>(id)].latency_class),
+                          rec.tokens));
+    const bool ok = fs.unpark(id);
+    assert(ok && "cancelled step must correspond to a parked fiber");
+    (void)ok;
+  };
+
   // Class-aware admission: triage every queued request (shedding the ones
-  // the policy has given up on), order survivors earliest-deadline-first
-  // with deferred (blown-but-in-grace) requests after everything that can
-  // still make its SLO, then admit up to the base policy's budget.
+  // the policy has given up on) *and* every parked decode step (cancelling
+  // sessions whose token deadline is hopeless), order survivors earliest-
+  // deadline-first with deferred (blown-but-in-grace) entries after
+  // everything that can still make its SLO, then admit up to the base
+  // policy's budget. Steps and arrivals compete in one EDF order — that is
+  // what makes triage work mid-stream.
   struct Cand {
     int id;
     std::int64_t key;
     bool defer;
+    bool step;
   };
   const auto admit = [&](std::size_t max_admit) {
-    if (queue.empty()) return;
+    if (queue.empty() && step_queue.empty()) return;
     const std::int64_t t = now();
     std::vector<Cand> cands;
-    cands.reserve(queue.size());
+    cands.reserve(queue.size() + step_queue.size());
+    for (const int id : step_queue) {
+      const RequestRecord& rec = (*records)[static_cast<std::size_t>(id)];
+      RequestView v;
+      v.now_ns = t;
+      v.arrival_ns = arrival_of(id);
+      v.latency_class = (*trace)[static_cast<std::size_t>(id)].latency_class;
+      v.is_step = true;
+      v.last_token_ns = rec.last_token_ns;
+      v.tokens = rec.tokens;
+      const Triage tg = policy->triage(v);
+      if (tg.verdict == Verdict::kShed) {
+        cancel_session(id);
+        continue;
+      }
+      if (tg.verdict == Verdict::kDefer)
+        ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kTriage, id,
+                                      class_idx(v.latency_class)));
+      cands.push_back(Cand{id, tg.deadline_ns, tg.verdict == Verdict::kDefer, true});
+    }
+    step_queue.clear();
     for (const int id : queue) {
       RequestView v;
       v.now_ns = t;
@@ -376,17 +444,37 @@ void FleetShard::run_worker() {
       if (tg.verdict == Verdict::kDefer)
         ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kTriage, id,
                                       class_idx(v.latency_class)));
-      cands.push_back(Cand{id, tg.deadline_ns, tg.verdict == Verdict::kDefer});
+      cands.push_back(Cand{id, tg.deadline_ns, tg.verdict == Verdict::kDefer, false});
     }
     // stable: FIFO within equal (defer, deadline) — arrival order survives.
     std::stable_sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
       if (a.defer != b.defer) return !a.defer;
       return a.key < b.key;
     });
+    // One EDF pass over steps and arrivals together: the *order* is shared
+    // (a step with a tight token deadline resumes before a later-deadline
+    // arrival spawns, so its ops record first), but only arrivals consume
+    // the width budget — a step's session is already in the live pool, and
+    // budget-gating steps would livelock a width-capped pool of parked
+    // sessions (see serve.cpp).
     queue.clear();
-    std::size_t i = 0;
-    for (; i < cands.size() && i < max_admit; ++i) spawn_request(cands[i].id);
-    for (; i < cands.size(); ++i) queue.push_back(cands[i].id);  // keep EDF order
+    std::size_t admitted = 0;
+    for (const Cand& c : cands) {
+      if (c.step) {
+        const bool ok = fs.unpark(c.id);
+        assert(ok && "queued step must correspond to a parked fiber");
+        (void)ok;
+        ACROBAT_TRACE(tr,
+                      tr->instant(trace::EventKind::kAdmit, c.id,
+                                  (*trace)[static_cast<std::size_t>(c.id)].model_id,
+                                  (*records)[static_cast<std::size_t>(c.id)].tokens));
+      } else if (admitted < max_admit) {
+        spawn_request(c.id);
+        ++admitted;
+      } else {
+        queue.push_back(c.id);  // keep EDF order
+      }
+    }
     report.max_live = std::max(report.max_live, in_flight.size());
   };
 
@@ -399,6 +487,40 @@ void FleetShard::run_worker() {
     fs.step_ready();  // new fibers record until they suspend
   };
   for (EngineSlot& s : slots) s.eng->set_admission_hook(admission_hook);
+
+  // Token-boundary hook, as in serve.cpp: stamp the token, queue the
+  // session for triaged re-admission, park. The mid-stream exemplar
+  // threshold defaults to the token deadline — "what did the session that
+  // blew its inter-token SLO look like", captured while it is still live.
+  std::int64_t step_slow_ns = opts->trace.slow_threshold_ns;
+  if (step_slow_ns <= 0) step_slow_ns = opts->policy.token_deadline_ns;
+  const auto step_hook = [&](int id) -> Engine::StepVerdict {
+    RequestRecord& r = (*records)[static_cast<std::size_t>(id)];
+    if (awaiting[static_cast<std::size_t>(id)] != 0) {
+      awaiting[static_cast<std::size_t>(id)] = 0;
+      return r.cancelled ? Engine::StepVerdict::kStop : Engine::StepVerdict::kRun;
+    }
+    const std::int64_t t = now();
+    ++r.tokens;
+    ++report.tokens;
+    if (r.first_token_ns < 0) {
+      r.first_token_ns = t;
+      report.ttft_ms.add(static_cast<double>(t - r.arrival_ns) * 1e-6);
+    } else {
+      const std::int64_t gap = t - r.last_token_ns;
+      report.inter_token_ms.add(static_cast<double>(gap) * 1e-6);
+      ACROBAT_TRACE(tr, {
+        if (step_slow_ns > 0 && gap >= step_slow_ns)
+          tr->capture_exemplar(id, r.last_token_ns, t, gap);
+      });
+    }
+    r.last_token_ns = t;
+    if (r.cancelled) return Engine::StepVerdict::kStop;
+    awaiting[static_cast<std::size_t>(id)] = 1;
+    step_queue.push_back(id);
+    return Engine::StepVerdict::kPark;
+  };
+  for (EngineSlot& s : slots) s.eng->set_step_hook(step_hook);
 
   for (;;) {
     drain_inbox();
@@ -426,6 +548,7 @@ void FleetShard::run_worker() {
   }
 
   for (EngineSlot& s : slots) {
+    s.eng->set_step_hook(nullptr);
     s.eng->set_admission_hook(nullptr);
     s.eng->set_fiber_scheduler(nullptr);
   }
@@ -564,16 +687,30 @@ FleetResult finalize_result(const std::vector<Request>& trace, const FleetPolicy
     res.throughput_rps = static_cast<double>(completed) / (res.makespan_ms * 1e-3);
   res.shards.reserve(shards.size());
   for (auto& sh : shards) res.shards.push_back(std::move(sh->report));
+  serve::LatencyHisto ttft, gap;
+  for (const ShardReport& s : res.shards) {
+    ttft.merge(s.ttft_ms);
+    gap.merge(s.inter_token_ms);
+    res.tokens += s.tokens;
+    res.cancelled += s.cancelled;
+  }
+  res.ttft_ms = serve::Percentiles::from(ttft);
+  res.inter_token_ms = serve::Percentiles::from(gap);
+  if (res.makespan_ms > 0)
+    res.tokens_per_sec = static_cast<double>(res.tokens) / (res.makespan_ms * 1e-3);
   return res;
 }
 
+// Documented trace contract, validated loudly (config_die, not assert): a
+// hand-built trace that bypasses generate_load must fail identically in
+// Release, where an assert would let bad ids index records out of bounds.
 void check_trace(const ModelRegistry& reg, const std::vector<Request>& trace,
                  bool sorted_arrivals) {
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    assert(trace[i].id == static_cast<int>(i) && "trace ids must be 0..N-1");
-    (void)sorted_arrivals;
-    assert((!sorted_arrivals || i == 0 || trace[i].arrival_ns >= trace[i - 1].arrival_ns) &&
-           "trace must be sorted by arrival");
+    if (trace[i].id != static_cast<int>(i))
+      config_die("trace ids must be 0..N-1 in order (generate_load's contract)");
+    if (sorted_arrivals && i > 0 && trace[i].arrival_ns < trace[i - 1].arrival_ns)
+      config_die("trace must be sorted by arrival_ns");
     if (trace[i].model_id < 0 || trace[i].model_id >= reg.num_models())
       config_die("trace names a model_id outside the registry");
     if (trace[i].input_index >=

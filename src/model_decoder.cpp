@@ -1,0 +1,87 @@
+// Decoder: an autoregressive generative decoder — the serving workload the
+// iteration-level scheduler exists for. A fiber loops one decode step at a
+// time: advance the carried state through an RNN cell, ask a stop head
+// whether to keep emitting (kSyncSign — the data-dependent stop), then cross
+// the token boundary through kStepKeep, which checkpoints the state into the
+// engine's per-session buffer and parks the fiber until the serve loop
+// re-admits the session. The loop is bounded by a max-token cap; the tail
+// (phase 1) classifies the final state, so a mid-stream cancel (cont == 0)
+// still exits through a well-formed output.
+#include "models/cells.h"
+#include "models/specs.h"
+
+namespace acrobat::models {
+namespace {
+
+Dataset dataset(bool large, int batch, std::uint64_t seed) {
+  Dataset ds;
+  ds.pool = std::make_shared<TensorPool>();
+  Rng rng(seed);
+  const int h = hidden_dim(large);
+  for (int i = 0; i < batch; ++i)
+    ds.inputs.push_back(dataset_tensor(ds, ds.pool->alloc_random(RowVec(h), rng, 1.0f)));
+  return ds;
+}
+
+int build(BuildCtx& ctx) {
+  const int h = hidden_dim(ctx.large);
+  const Shape v(h), ws(1, h);
+  // Stop-head scale is deliberately large (4/h vs the usual <1/h): the
+  // emitted scalar then swings enough that the stop test fails with real
+  // probability per step, giving genuinely varied, input-dependent session
+  // lengths instead of every session riding to the cap.
+  const int w_stop = ctx.add_weight(ws, 4.0f / static_cast<float>(h));
+  const int k_stop = ctx.kernel("decoder.stop", OpKind::kDense, 0, {v, ws});
+  const RnnCell cell = make_rnn(ctx, "decoder.cell", h, h);
+  const ClassifierHead cls = make_classifier(ctx, "decoder", h);
+
+  ir::FuncBuilder main(ctx.program, "decoder.main", 1);
+  {
+    const int cap = main.cint(decoder_max_tokens(ctx.large));
+    const int state = main.var(main.arg(0));  // carried state, seeded by context
+    const int t = main.var(main.cint(0));
+    const int top = main.here();
+    // One decode step: the session's original context conditions every step
+    // (a purely self-conditioned cell would contract every session onto the
+    // same attractor, collapsing the stop score's variance), and the
+    // carried state recurs.
+    const int next = emit_rnn(main, cell, main.arg(0), state);
+    const int s = main.kernel(k_stop, {next, main.weight(w_stop)});
+    // Threshold in the lower tail of the stop score's distribution: a
+    // modest per-step stop probability gives varied, input-dependent
+    // session lengths (mean ~13 of the 24-token cap) with most sessions
+    // running long enough for steady-state decode batching to matter.
+    const int more = main.sync_sign(s, -0.08);
+    // Token boundary: checkpoint + (under serving) park for re-admission.
+    const int kept = main.step_keep(next);
+    main.assign(state, main.tuple_get(kept, 0));
+    const int cont = main.tuple_get(kept, 1);
+    main.assign(t, main.add_int_imm(t, 1));
+    // Continue iff under the cap AND the stop head says emit AND the serve
+    // loop has not cancelled the session.
+    const int under_cap = main.lt(t, cap);
+    const int chk_more = main.br_if(under_cap);
+    const int done_cap = main.jmp();
+    main.patch(chk_more, main.here());
+    const int chk_cont = main.br_if(more);
+    const int done_stop = main.jmp();
+    main.patch(chk_cont, main.here());
+    main.br_if_to(cont, top);
+    // Fallthrough (cancelled) and both early exits land on the tail.
+    const int done = main.here();
+    main.patch(done_cap, done);
+    main.patch(done_stop, done);
+    main.set_phase(1);
+    main.ret(emit_classifier(main, cls, state));
+    main.finish();
+  }
+  return main.index();
+}
+
+}  // namespace
+
+int decoder_max_tokens(bool large) { return large ? 48 : 24; }
+
+ModelSpec make_decoder_spec() { return ModelSpec{"Decoder", dataset, build}; }
+
+}  // namespace acrobat::models

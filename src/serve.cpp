@@ -163,6 +163,14 @@ void Shard::run_worker() {
   }
   std::deque<int> queue;      // arrived at this shard, not yet admitted
   std::deque<int> in_flight;  // admitted, not yet completed (arrival order)
+  // Iteration-level scheduling (DESIGN.md §7): a generative session parks
+  // its fiber at every token boundary (Engine::session_step) and rejoins
+  // the admission cycle here, so each trigger batches decode steps across
+  // sessions old and new. `awaiting[id]` marks a session between its park
+  // and its re-admission; the step hook's second consult (after unpark)
+  // reads it to tell re-admission apart from a fresh token boundary.
+  std::deque<int> step_queue;  // parked sessions wanting their next token
+  std::vector<char> awaiting(trace->size(), 0);
 
   long long last_tick_trigger = 0;
   const auto maybe_tick = [&](std::int64_t t_now) {
@@ -199,6 +207,10 @@ void Shard::run_worker() {
     PolicyCtx c;
     c.now_ns = now();
     c.queued = queue.size();
+    // Parked sessions stay `live`: they hold session state (the per-session
+    // buffer, an SLO clock mid-stream), so a width-capped policy bounds
+    // concurrent *sessions* — which is what makes session memory plateau at
+    // peak concurrency instead of growing with the trace.
     c.live = in_flight.size();
     if (!queue.empty())
       c.oldest_queued_arrival_ns = (*trace)[static_cast<std::size_t>(queue.front())].arrival_ns;
@@ -210,6 +222,21 @@ void Shard::run_worker() {
   };
 
   const auto admit = [&](std::size_t max_admit) {
+    // Decode steps are always re-admitted, outside the policy's budget: the
+    // budget gates how many *sessions* hold state concurrently, and a step
+    // belongs to a session that is already in the live pool. Gating steps
+    // on the same budget would livelock a width-capped pool of parked
+    // sessions (budget 0, nothing to unpark them).
+    while (!step_queue.empty()) {
+      const int id = step_queue.front();
+      step_queue.pop_front();
+      const bool ok = fs.unpark(id);
+      assert(ok && "queued step must correspond to a parked fiber");
+      (void)ok;
+      ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kAdmit, id,
+                                    (*trace)[static_cast<std::size_t>(id)].model_id,
+                                    (*records)[static_cast<std::size_t>(id)].tokens));
+    }
     while (max_admit > 0 && !queue.empty()) {
       --max_admit;
       const int id = queue.front();
@@ -261,6 +288,41 @@ void Shard::run_worker() {
     fs.step_ready();  // new fibers record until they suspend
   });
 
+  // Token-boundary hook (iteration-level scheduling): the engine consults
+  // this from inside a generative fiber at every kStepKeep. First consult
+  // per token stamps the token, queues the session for re-admission, and
+  // parks; the consult after unpark decides run vs stop (a cancelled
+  // session exits through the model's tail so its output stays valid).
+  eng.set_step_hook([&](int id) -> Engine::StepVerdict {
+    RequestRecord& r = (*records)[static_cast<std::size_t>(id)];
+    if (awaiting[static_cast<std::size_t>(id)] != 0) {
+      awaiting[static_cast<std::size_t>(id)] = 0;
+      return r.cancelled ? Engine::StepVerdict::kStop : Engine::StepVerdict::kRun;
+    }
+    const std::int64_t t = now();
+    ++r.tokens;
+    ++report.tokens;
+    if (r.first_token_ns < 0) {
+      r.first_token_ns = t;
+      report.ttft_ms.add(static_cast<double>(t - r.arrival_ns) * 1e-6);
+    } else {
+      const std::int64_t gap = t - r.last_token_ns;
+      report.inter_token_ms.add(static_cast<double>(gap) * 1e-6);
+      // Slow-request exemplars fire at serve time on an inter-token breach
+      // (DESIGN.md §9), not only on end-to-end latency at completion — a
+      // mid-stream stall surfaces while the session is still running.
+      ACROBAT_TRACE(tr, {
+        if (slow_ns > 0 && gap >= slow_ns)
+          tr->capture_exemplar(id, r.last_token_ns, t, gap);
+      });
+    }
+    r.last_token_ns = t;
+    if (r.cancelled) return Engine::StepVerdict::kStop;
+    awaiting[static_cast<std::size_t>(id)] = 1;
+    step_queue.push_back(id);
+    return Engine::StepVerdict::kPark;
+  });
+
   for (;;) {
     drain_inbox();
     fs.reap_done();
@@ -285,6 +347,7 @@ void Shard::run_worker() {
     }
   }
 
+  eng.set_step_hook(nullptr);
   eng.set_admission_hook(nullptr);
   eng.set_fiber_scheduler(nullptr);
   report.triggers = fs.idle_triggers();
@@ -413,11 +476,17 @@ ServeResult serve(const harness::Prepared& p, const models::Dataset& ds,
   const int nshards = opts.shards;
   ServeResult res;
   res.records.resize(trace.size());
+  // Validate the documented trace contract loudly (not via assert): a
+  // hand-built trace that skips generate_load — the usual source of these —
+  // must fail identically in Release, where an assert would let the bad ids
+  // index records out of bounds instead.
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    assert(trace[i].id == static_cast<int>(i) && "trace ids must be 0..N-1");
-    assert((i == 0 || trace[i].arrival_ns >= trace[i - 1].arrival_ns) &&
-           "trace must be sorted by arrival");
-    assert(trace[i].input_index < ds.inputs.size());
+    if (trace[i].id != static_cast<int>(i))
+      config_die("serve trace ids must be 0..N-1 in order (generate_load's contract)");
+    if (i > 0 && trace[i].arrival_ns < trace[i - 1].arrival_ns)
+      config_die("serve trace must be sorted by arrival_ns");
+    if (trace[i].input_index >= ds.inputs.size())
+      config_die("serve trace input_index out of range for the dataset");
     res.records[i].id = trace[i].id;
     res.records[i].arrival_ns = trace[i].arrival_ns;
   }
@@ -508,6 +577,20 @@ ServeResult serve(const harness::Prepared& p, const models::Dataset& ds,
     res.throughput_rps =
         static_cast<double>(trace.size()) / (res.makespan_ms * 1e-3);
   for (auto& sh : shards) res.shards.push_back(std::move(sh->report));
+  // Decode split: shard-local token histograms merge here (same O(1)-memory
+  // scheme as latency), so TTFT and inter-token tails are reportable even
+  // though no per-token samples were stored.
+  LatencyHisto ttft, gap;
+  for (const ShardReport& s : res.shards) {
+    ttft.merge(s.ttft_ms);
+    gap.merge(s.inter_token_ms);
+    res.tokens += s.tokens;
+    res.cancelled += s.cancelled;
+  }
+  res.ttft_ms = Percentiles::from(ttft);
+  res.inter_token_ms = Percentiles::from(gap);
+  if (res.makespan_ms > 0)
+    res.tokens_per_sec = static_cast<double>(res.tokens) / (res.makespan_ms * 1e-3);
   if (opts.trace.enabled) {
     drain_ticks();
     res.trace.tracks.push_back(trace::dump_track(*disp_tracer, 0, "dispatcher"));

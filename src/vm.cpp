@@ -167,6 +167,14 @@ Value Vm::exec(const ir::Func& f, const std::vector<Value>& args, RunState& st) 
               Value::integer(x > static_cast<double>(ins.attr) * 1e-6 ? 1 : 0));
         break;
       }
+      case ir::Op::kStepKeep: {
+        const Value& v = read(env, ins.srcs[0]);
+        check_kind(v, Value::kTensor, "tensor");
+        const Engine::StepResult r = engine_.session_step(v.tref, st.ctx);
+        write(env, ins.dst,
+              Value::make_tuple({Value::tensor(r.state), Value::integer(r.cont)}));
+        break;
+      }
     }
     ++pc;
   }

@@ -14,7 +14,9 @@
 #include "serve/spsc.h"
 #include "test_util.h"
 
+#include <cmath>
 #include <cstdio>
+#include <utility>
 
 using namespace acrobat;
 
@@ -196,6 +198,50 @@ void test_config_validation_dies() {
   serve::validate(ok);
   serve::LoadSpec ls;
   serve::validate(ls);
+}
+
+// The serve() trace contract ("sorted by arrival_ns with ids 0..N-1") is
+// validated loudly at entry — a hand-built trace that violates it must
+// abort in every build type, not index records out of bounds in Release.
+void test_trace_contract_dies() {
+  const models::ModelSpec& spec = models::model_by_name("BiRNN");
+  const models::Dataset ds = spec.build_dataset(false, 4, 43);
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+  CHECK(dies([&] {
+    auto bad = spread_trace(4, ds.inputs.size(), 1000);
+    bad[2].id = 7;  // re-numbered
+    (void)serve::serve(p, ds, bad, serve::ServeOptions{});
+  }));
+  CHECK(dies([&] {
+    auto bad = spread_trace(4, ds.inputs.size(), 1000);
+    std::swap(bad[1].arrival_ns, bad[2].arrival_ns);  // unsorted
+    (void)serve::serve(p, ds, bad, serve::ServeOptions{});
+  }));
+  CHECK(dies([&] {
+    auto bad = spread_trace(4, ds.inputs.size(), 1000);
+    bad[3].input_index = 999;  // outside the dataset
+    (void)serve::serve(p, ds, bad, serve::ServeOptions{});
+  }));
+  // The contract-conforming trace from the same builder serves fine.
+  const auto good = spread_trace(4, ds.inputs.size(), 1000);
+  CHECK_EQ(serve::serve(p, ds, good, serve::ServeOptions{}).records.size(), 4);
+}
+
+// A negative or non-finite latency sample is an upstream bug (unset
+// completion_ns flowing through latency_ms()); the histogram rejects it
+// loudly instead of silently corrupting bucket 0.
+void test_histo_rejects_bad_samples() {
+  CHECK(dies([] {
+    serve::LatencyHisto h;
+    h.add(-1.0);
+  }));
+  CHECK(dies([] {
+    serve::LatencyHisto h;
+    h.add(std::nan(""));
+  }));
+  serve::LatencyHisto h;
+  h.add(0.0);  // zero is a legal same-tick sample
+  CHECK_EQ(h.count(), 1);
 }
 
 void test_spsc_queue() {
@@ -434,6 +480,8 @@ int main() {
   test_load_generator();
   test_mixed_load_determinism();
   test_config_validation_dies();
+  test_trace_contract_dies();
+  test_histo_rejects_bad_samples();
   test_spsc_queue();
   test_least_loaded_tie_break();
   test_serve_matches_solo();

@@ -121,18 +121,37 @@ int main() {
               "itl p99", "e2e p99", "tokens", "canc", "sess_peak", "hit%");
 
   CounterJson json;
-  std::vector<serve::PolicyConfig> policies(3);
-  policies[0].kind = serve::PolicyKind::kGreedy;
-  policies[1].kind = serve::PolicyKind::kMaxBatch;
-  policies[1].max_batch = 8;
-  policies[2].kind = serve::PolicyKind::kDeadline;
-  policies[2].min_batch = 4;
-  policies[2].slo_ns = static_cast<std::int64_t>(solo_ms * 8e6);
-  policies[2].max_hold_ns = static_cast<std::int64_t>(solo_ms * 0.5e6);
+  // The deadline policy rides three ways: uncapped, width-capped
+  // (max_admit bounds concurrent sessions — TTFT spikes at overload as
+  // arrivals queue behind a full pool), and decode-split (same cap but it
+  // gates only prefills, with decode steps metered at decode_admit per
+  // trigger window — the before/after column for flat TTFT at overload).
+  struct Entry {
+    const char* label;
+    serve::PolicyConfig pc;
+  };
+  std::vector<Entry> policies(5);
+  policies[0].label = "greedy";
+  policies[0].pc.kind = serve::PolicyKind::kGreedy;
+  policies[1].label = "max-batch";
+  policies[1].pc.kind = serve::PolicyKind::kMaxBatch;
+  policies[1].pc.max_batch = 8;
+  policies[2].label = "deadline";
+  policies[2].pc.kind = serve::PolicyKind::kDeadline;
+  policies[2].pc.min_batch = 4;
+  policies[2].pc.slo_ns = static_cast<std::int64_t>(solo_ms * 8e6);
+  policies[2].pc.max_hold_ns = static_cast<std::int64_t>(solo_ms * 0.5e6);
+  policies[3].label = "deadline-cap";
+  policies[3].pc = policies[2].pc;
+  policies[3].pc.max_admit = 8;
+  policies[4].label = "deadline-split";
+  policies[4].pc = policies[3].pc;
+  policies[4].pc.decode_admit = 4;
 
   for (const double mult : {0.5, 2.0, 6.0}) {
     const double rate = base_rps * mult;
-    for (const serve::PolicyConfig& pc : policies) {
+    for (const Entry& entry : policies) {
+      const serve::PolicyConfig& pc = entry.pc;
       serve::LoadSpec ls;
       ls.kind = serve::ArrivalKind::kPoisson;
       ls.rate_rps = rate;
@@ -145,10 +164,9 @@ int main() {
       so.recycle = true;  // session checkpoints require the epoch protocol
       so.launch_overhead_ns = kLaunchNs;
       const serve::ServeResult res = serve::serve(p, ds, trace, so);
-      print_point(rate, serve::policy_name(pc.kind), res);
+      print_point(rate, entry.label, res);
       char cfg[96];
-      std::snprintf(cfg, sizeof cfg, "poisson/%.1fx/%s", mult,
-                    serve::policy_name(pc.kind));
+      std::snprintf(cfg, sizeof cfg, "poisson/%.1fx/%s", mult, entry.label);
       record_point(json, cfg, res);
     }
     std::printf("\n");

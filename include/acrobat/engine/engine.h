@@ -13,6 +13,7 @@
 // device memory cap).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -445,10 +446,31 @@ class Engine {
   // --- per-session persistent state (session_step; empty without decode)
   struct SessionBuf {
     std::unique_ptr<float[]> data;
-    std::size_t cap = 0;  // floats
+    std::size_t cap = 0;  // floats; always 1 << class for pooled buffers
   };
+  // Buffers are pooled by power-of-two size class (min 16 floats), not in a
+  // single LIFO: sessions checkpoint *growing*, variable-size state, and a
+  // flat pool both strands large buffers behind small ones and leaks the
+  // old buffer on every mid-session growth. With classes, a grown session
+  // returns its old buffer to its class and adopts (or allocates) from the
+  // next, so bytes-ever-allocated plateaus at peak concurrency × the class
+  // ladder even when every session's state grows per token.
+  static constexpr int kSessionBufClasses = 24;
+  // Ceil-log2 class, floor 16 floats. May exceed the pool array (giant
+  // states); such buffers share the top pool, which is why adoption
+  // re-checks cap — every class below the top holds exactly 1 << cls.
+  static int session_buf_class(std::size_t numel) {
+    int cls = 4;  // 1 << 4 == 16 floats minimum
+    while ((std::size_t{1} << cls) < numel) ++cls;
+    return cls;
+  }
+  static std::size_t session_buf_pool_index(int cls) {
+    return static_cast<std::size_t>(
+        cls < kSessionBufClasses ? cls : kSessionBufClasses - 1);
+  }
+  void pool_session_buf(SessionBuf&& buf);
   std::unordered_map<int, SessionBuf> session_bufs_;  // instance → kept state
-  std::vector<SessionBuf> session_buf_pool_;          // retired, capacity kept
+  std::array<std::vector<SessionBuf>, kSessionBufClasses> session_buf_pool_;
   std::size_t session_bufs_peak_ = 0;
   std::size_t session_floats_allocated_ = 0;
   StepHook step_hook_;

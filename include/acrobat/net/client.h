@@ -1,0 +1,63 @@
+// Minimal blocking client for the acrobat/net wire protocol. Used by the
+// tests and by bench/net_client; one NetClient per connection, single
+// threaded. Responses for concurrently outstanding requests are demuxed by
+// req_id, so a client may pipeline many requests on one connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acrobat/net/frame.h"
+
+namespace acrobat::net {
+
+struct ClientResponse {
+  std::uint32_t req_id = 0;
+  enum class Kind { kDone, kRetry, kError } kind = Kind::kDone;
+  std::uint32_t error_code = 0;
+  std::uint32_t tokens = 0;
+  bool cancelled = false;
+  std::vector<float> output;
+  // Wire-side observation timestamps (CLOCK_MONOTONIC ns): when each token
+  // frame and the final frame were *received*, for TTFT / inter-token stats
+  // measured at the client.
+  std::vector<std::int64_t> token_recv_ns;
+  std::int64_t done_recv_ns = 0;
+};
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  bool connect_tcp(const std::string& host, int port);
+  bool connect_uds(const std::string& path);
+  bool connected() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+  void close();
+
+  // Fire-and-forget send; responses are collected with wait().
+  bool send_request(std::uint32_t req_id, std::uint32_t input_index,
+                    std::uint16_t model_id = 0, std::uint8_t latency_class = 0,
+                    bool stream = true);
+
+  // Blocks until the terminal frame (kDone / kRetry / kError) for `req_id`
+  // arrives, filling `out`. Terminal frames for *other* pipelined requests
+  // seen along the way are stashed and returned by their own wait() calls.
+  // Returns false on connection error or timeout.
+  bool wait(std::uint32_t req_id, ClientResponse& out, int timeout_ms = 60000);
+
+ private:
+  bool pump(int timeout_ms);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::string error_;
+  std::vector<ClientResponse> pending_;  // terminal responses not yet claimed
+  std::vector<ClientResponse> partial_;  // streams in progress (token stamps)
+};
+
+}  // namespace acrobat::net

@@ -1,0 +1,145 @@
+// acrobat/net: the socket ingress (DESIGN.md §10).
+//
+// NetServer is the front door that turns the in-process serving stack into a
+// real server: a poll()-based event loop accepts TCP (loopback) and/or UDS
+// connections, parses length-prefixed request frames, stamps arrivals, and
+// feeds them through a *bounded* admission queue to a dispatcher thread that
+// routes onto shard inboxes — the same SPSC + admission-hook machinery the
+// in-proc `serve()` path uses. Completions (including per-token decode
+// frames) stream back on the originating connection.
+//
+// Three invariants the design enforces:
+//   * Overload sheds, never grows: the admission queue has fixed capacity
+//     and the slot table has fixed size; when either is exhausted new
+//     requests get an explicit kRetry (429) frame. No unbounded buffer
+//     exists anywhere on the request path.
+//   * Slow readers never block the hot path: only the event-loop thread
+//     writes sockets; per-connection write buffers are bounded and a
+//     connection that exceeds its bound is dropped, cancelling its live
+//     sessions through the existing mid-stream-cancel path.
+//   * Shards are shared-nothing: in-proc shards are threads that own their
+//     engine exclusively; with `multiprocess = true` each shard is a forked
+//     `--shard-worker` process speaking the worker frame protocol over a
+//     UDS socketpair, with ping/pong liveness and drain-on-shutdown.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "acrobat/harness/harness.h"
+#include "acrobat/models/models.h"
+#include "acrobat/serve/policy.h"
+#include "acrobat/serve/server.h"
+#include "acrobat/trace/trace.h"
+
+namespace acrobat::net {
+
+struct NetOptions {
+  // Listeners. port 0 = pick an ephemeral loopback port (read it back via
+  // NetServer::port()); port < 0 = no TCP listener. Empty uds_path = no UDS
+  // listener. At least one must be enabled.
+  int port = 0;
+  std::string uds_path;
+
+  int shards = 1;
+  serve::PolicyConfig policy;
+  std::int64_t launch_overhead_ns = 0;
+  bool recycle = true;
+  bool sched_memo = true;
+
+  // Bounded-ingress knobs. admission_capacity bounds the acceptor →
+  // dispatcher queue (full → 429); max_sessions bounds the slot table, i.e.
+  // requests admitted but not yet completed server-wide (exhausted → the
+  // dispatcher stops popping admission, which backs up into 429s).
+  std::size_t admission_capacity = 64;
+  std::size_t max_sessions = 128;
+  std::size_t write_buffer_limit = 1 << 20;  // bytes buffered per conn before drop
+  int max_connections = 256;
+  int sndbuf_bytes = 0;  // >0: shrink SO_SNDBUF (test knob for slow-reader paths)
+
+  // Multi-process fleet: each shard is a forked worker process. worker_cmd
+  // empty = re-exec this binary (/proc/self/exe), which must route
+  // `--shard-worker` argv to shard_worker_main() before anything else.
+  bool multiprocess = false;
+  std::string worker_cmd;
+
+  // Model + dataset recipe. In multiprocess mode workers rebuild both from
+  // this recipe (materialize_weights and build_dataset are deterministic),
+  // which is what makes wire parity hold across process boundaries.
+  std::string model = "Decoder";
+  bool large = false;
+  int ds_batch = 24;
+  std::uint64_t ds_seed = 0;
+
+  trace::TraceOptions trace;
+};
+
+struct NetStats {
+  // Event-loop counters.
+  std::uint64_t connections = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t requests = 0;       // well-formed request frames seen
+  std::uint64_t completed = 0;      // kDone frames written
+  std::uint64_t rejected_429 = 0;   // kRetry frames written (admission full)
+  std::uint64_t errors = 0;         // kError frames written
+  std::uint64_t cancelled = 0;      // sessions cancelled mid-stream
+  std::uint64_t conn_drops = 0;     // connections dropped with work pending
+  std::uint64_t slow_reader_drops = 0;  // subset: write buffer bound exceeded
+  std::uint64_t tokens_streamed = 0;    // kToken frames written
+  std::uint64_t worker_deaths = 0;
+  // High-water marks: all bounded by their configured caps.
+  std::size_t admission_peak = 0;
+  std::size_t slots_peak = 0;
+  std::size_t write_buf_peak = 0;
+
+  // Per-shard reports. In-proc shards fill the full serve::ShardReport;
+  // worker processes report the subset carried home by the kWorkerBye frame
+  // (requests, tokens).
+  std::vector<serve::ShardReport> shards;
+
+  trace::TraceDump trace;
+};
+
+class NetServer {
+ public:
+  // `p` and `ds` may be null when multiprocess (workers rebuild from the
+  // recipe in opts); in-proc shards require both.
+  NetServer(const harness::Prepared* p, const models::Dataset* ds, NetOptions opts);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds listeners, spawns workers (multiproc) and threads. Returns false
+  // with error() set if no listener could be created (e.g. sockets are
+  // unavailable in the sandbox) — callers fall back to in-proc serve().
+  bool start();
+  const std::string& error() const;
+
+  int port() const;                         // bound TCP port (after start)
+  const std::string& uds_path() const;
+  std::vector<pid_t> worker_pids() const;   // multiproc only
+
+  // Drain: stop accepting, 429 new requests, finish in-flight sessions,
+  // flush completions, stop workers (kWorkerDrain/kWorkerBye), join.
+  // Idempotent; also run by the destructor.
+  void shutdown();
+
+  // Valid after shutdown().
+  const NetStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Entry point for `--shard-worker` child processes (multi-process fleet).
+// Any binary that may host workers (netd, net_client, test_net) must call
+// this from main() when argv[1] == "--shard-worker" and exit with its
+// return value. argv is the full command line.
+int shard_worker_main(int argc, char** argv);
+
+}  // namespace acrobat::net

@@ -23,6 +23,11 @@ struct PolicyCtx {
   std::int64_t now_ns = 0;   // since serve start
   std::size_t queued = 0;    // arrived at this shard, not yet admitted
   std::size_t live = 0;      // admitted requests in flight
+  // Decode-aware split: how many of `live` are generative sessions past
+  // their first token, and how many parked sessions currently want their
+  // next decode step. Policies without a decode budget ignore both.
+  std::size_t live_decode = 0;
+  std::size_t queued_steps = 0;
   std::int64_t oldest_queued_arrival_ns = -1;  // -1: queue empty
   std::int64_t oldest_live_arrival_ns = -1;    // -1: nothing in flight
   bool inbox_open = true;  // false once the dispatcher has sent everything
@@ -31,6 +36,14 @@ struct PolicyCtx {
 struct AdmitDecision {
   // Upper bound on requests to admit this round (actual = min with queued).
   std::size_t max_admit = static_cast<std::size_t>(-1);
+  // Upper bound on parked decode steps to unpark per *trigger window* (the
+  // interval between admission hooks). size_t(-1) = unlimited, the classic
+  // behavior: steps re-admit outside the width budget. A finite value chunks
+  // decode re-admission so prefill admissions are not starved of trigger
+  // width at overload — the shard resets its step budget from this once per
+  // window, and guarantees at least one step per window so a fully-parked
+  // pool can never stall.
+  std::size_t max_step_admit = static_cast<std::size_t>(-1);
   // If > now and everything live is suspended, poll for new arrivals until
   // this time before triggering — the batch-forming pause.
   std::int64_t hold_until_ns = -1;
@@ -92,6 +105,14 @@ struct PolicyConfig {
   // fixed-width triggers regardless of queue depth — batch composition
   // becomes a pure function of arrival order, not of timing.
   std::size_t max_admit = 0;
+  // kDeadline: split the width budget into prefill vs decode sub-budgets
+  // (0 = off). When set (requires max_admit > 0), max_admit gates *prefill*
+  // admissions against non-decode live sessions only, and parked decode
+  // steps are re-admitted in chunks of decode_admit per trigger window.
+  // Trades the hard cap on concurrent sessions for flat TTFT at overload:
+  // new arrivals keep entering while decode work is metered, so the live
+  // session count is bounded by decode duration rather than max_admit.
+  std::size_t decode_admit = 0;
 };
 
 std::unique_ptr<BatchPolicy> make_policy(const PolicyConfig& cfg);

@@ -59,8 +59,14 @@ enum class EventKind : std::uint8_t {
   kShed,         // instant: request shed (a = id, b = class, c = lateness ns)
   kCounter,      // gauges (a = live nodes, b = memo hit rate per-mille,
                  //         c = arena bytes)
+  // Net ingress (acrobat/net, DESIGN.md §10); emitted by the event-loop
+  // thread into its own track (tid 0, "net").
+  kNetAccept,    // instant: connection accepted (a = conn index, b = open conns)
+  kNetReject,    // instant: request 429'd, admission full (a = conn, b = req id)
+  kNetConnDrop,  // instant: conn dropped with work pending (a = conn,
+                 //          b = 1 if a slow reader exceeded its write bound)
 };
-inline constexpr int kNumEventKinds = 15;
+inline constexpr int kNumEventKinds = 18;
 const char* event_name(EventKind k);
 
 // 40 bytes; written into the ring by value — no pointers, trivially

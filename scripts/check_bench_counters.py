@@ -33,6 +33,14 @@ COUNTERS = (
     # absent on pre-decode rows, same None == None tolerance as above.
     "tokens",
     "cancelled",
+    # Ingress rows (ISSUE 9, BENCH_net.json): admission/shed accounting is
+    # exact for a fixed closed-loop trace even though the latency columns
+    # are wall-clock context; absent everywhere else, same tolerance.
+    "completed",
+    "rejected_429",
+    "errors",
+    "conn_drops",
+    "worker_deaths",
 )
 
 

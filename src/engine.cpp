@@ -263,15 +263,21 @@ void Engine::reclaim_arena_pages() {
   arena_.reclaim_before(min_live);
 }
 
+void Engine::pool_session_buf(SessionBuf&& buf) {
+  if (buf.data == nullptr) return;
+  session_buf_pool_[session_buf_pool_index(session_buf_class(buf.cap))]
+      .push_back(std::move(buf));
+}
+
 void Engine::retire_request(int instance) {
   if (!cfg_.recycle) return;
   retire_span(instance);
   live_requests_.erase(instance);
   const auto sb = session_bufs_.find(instance);
   if (sb != session_bufs_.end()) {
-    // The session's kept-state buffer returns to the pool with its capacity
-    // intact; the next admitted session adopts it instead of allocating.
-    session_buf_pool_.push_back(std::move(sb->second));
+    // The session's kept-state buffer returns to its size-class pool with
+    // capacity intact; the next session needing that class adopts it.
+    pool_session_buf(std::move(sb->second));
     session_bufs_.erase(sb);
   }
   reclaim_arena_pages();
@@ -286,14 +292,21 @@ TRef Engine::checkpoint_state(TRef state, int instance) {
   const std::size_t numel = static_cast<std::size_t>(shape.numel());
   SessionBuf& buf = session_bufs_[instance];
   if (buf.cap < numel) {
-    if (buf.data == nullptr && !session_buf_pool_.empty() &&
-        session_buf_pool_.back().cap >= numel) {
-      buf = std::move(session_buf_pool_.back());
-      session_buf_pool_.pop_back();
+    // Growth path: the outgrown buffer goes back to its class pool before
+    // the session adopts from the target class — mid-session growth swaps
+    // classes instead of leaking the old allocation, so a cohort of growing
+    // sessions cycles one ladder of buffers per concurrency slot.
+    if (buf.data != nullptr) pool_session_buf(std::move(buf));
+    const int cls = session_buf_class(numel);
+    std::vector<SessionBuf>& pool = session_buf_pool_[session_buf_pool_index(cls)];
+    if (!pool.empty() && pool.back().cap >= numel) {
+      buf = std::move(pool.back());
+      pool.pop_back();
     } else {
-      buf.data.reset(new float[numel]);
-      buf.cap = numel;
-      session_floats_allocated_ += numel;
+      const std::size_t cap = std::size_t{1} << cls;
+      buf.data.reset(new float[cap]);
+      buf.cap = cap;
+      session_floats_allocated_ += cap;
     }
   }
   std::memcpy(buf.data.get(), src.data, numel * sizeof(float));

@@ -242,6 +242,11 @@ void FleetShard::run_worker() {
   // EDF ordering and shedding extend mid-stream.
   std::deque<int> step_queue;
   std::vector<char> awaiting(trace->size(), 0);
+  // Decode-aware split, as in serve.cpp: sessions past their first token,
+  // and how many parked steps this trigger window may still unpark. The
+  // budget resets from the policy once per window (admission hook).
+  std::size_t live_decode = 0;
+  std::size_t step_budget = static_cast<std::size_t>(-1);
 
   long long last_tick_trigger = 0;
   const auto maybe_tick = [&](std::int64_t t_now) {
@@ -283,12 +288,17 @@ void FleetShard::run_worker() {
   };
   const auto prune_in_flight = [&] {
     while (!in_flight.empty() &&
-           (*records)[static_cast<std::size_t>(in_flight.front())].completion_ns >= 0)
+           (*records)[static_cast<std::size_t>(in_flight.front())].completion_ns >= 0) {
+      if ((*records)[static_cast<std::size_t>(in_flight.front())].tokens > 0)
+        --live_decode;
       in_flight.pop_front();
+    }
   };
   const auto make_ctx = [&] {
     PolicyCtx c;
     c.now_ns = now();
+    c.live_decode = live_decode;
+    c.queued_steps = step_queue.size();
     // Parked sessions stay `live` (see serve.cpp): they hold session state,
     // so the width budget bounds concurrent sessions — the memory-plateau
     // contract. Steps are re-admitted outside the budget in admit().
@@ -461,6 +471,14 @@ void FleetShard::run_worker() {
     std::size_t admitted = 0;
     for (const Cand& c : cands) {
       if (c.step) {
+        // With a decode-aware policy the per-window step budget meters
+        // unparks; excess steps return to step_queue in EDF order and get
+        // re-triaged next window (their deadlines only tighten).
+        if (step_budget == 0) {
+          step_queue.push_back(c.id);
+          continue;
+        }
+        if (step_budget != static_cast<std::size_t>(-1)) --step_budget;
         const bool ok = fs.unpark(c.id);
         assert(ok && "queued step must correspond to a parked fiber");
         (void)ok;
@@ -483,7 +501,9 @@ void FleetShard::run_worker() {
   // trigger batches old and new requests — now across models too.
   const auto admission_hook = [&] {
     drain_inbox();
-    admit(policy->decide(make_ctx()).max_admit);
+    const AdmitDecision d = policy->decide(make_ctx());
+    step_budget = d.max_step_admit;  // new trigger window
+    admit(d.max_admit);
     fs.step_ready();  // new fibers record until they suspend
   };
   for (EngineSlot& s : slots) s.eng->set_admission_hook(admission_hook);
@@ -505,6 +525,7 @@ void FleetShard::run_worker() {
     ++report.tokens;
     if (r.first_token_ns < 0) {
       r.first_token_ns = t;
+      ++live_decode;
       report.ttft_ms.add(static_cast<double>(t - r.arrival_ns) * 1e-6);
     } else {
       const std::int64_t gap = t - r.last_token_ns;
@@ -544,6 +565,10 @@ void FleetShard::run_worker() {
       // fiber blocked on a not-yet-triggered engine just re-suspends.
       for (EngineSlot& s : slots) s.eng->trigger_execution();
       fs.wake_blocked();
+    } else if (!step_queue.empty()) {
+      // All live sessions parked with the window's step budget spent: no
+      // trigger will reset it, so open a minimal window (see serve.cpp).
+      step_budget = std::max<std::size_t>(step_budget, 1);
     }
   }
 

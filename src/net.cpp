@@ -1,0 +1,1172 @@
+#include "net/net.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sched.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <span>
+#include <thread>
+#include <unordered_map>
+
+#include "exec/aot.h"
+#include "net/frame.h"
+#include "net_shard_core.h"
+#include "runtime/fiber.h"
+#include "serve/spsc.h"
+#include "support/timer.h"
+
+namespace acrobat::net {
+namespace {
+
+using serve::SpscQueue;
+
+// Same rationale as serve.cpp: waits are for other threads' progress.
+void relax() { sched_yield(); }
+
+// Acceptor → dispatcher. Everything the dispatcher needs to fill a slot.
+struct AdmissionMsg {
+  int conn = -1;
+  std::uint64_t conn_gen = 0;
+  std::uint32_t req_id = 0;
+  std::uint32_t input_index = 0;
+  std::uint8_t latency_class = 0;
+  bool stream = false;
+  std::int64_t arrival_ns = 0;
+};
+
+// Shard/proxy/dispatcher → event loop.
+struct CompMsg {
+  enum Kind : std::uint8_t { kToken, kDone, kError };
+  Kind kind = kDone;
+  int slot = -1;
+  std::uint32_t aux = 0;  // token ordinal / ErrorCode
+};
+
+bool set_nonblocking(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  return fl >= 0 && ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- shared shard core
+
+namespace detail {
+
+void run_shard_core(const CoreConfig& cfg, CoreIo& io, serve::ShardReport& report) {
+  const harness::Prepared& p = *cfg.prep;
+  // Exclusive ownership, exactly as serve.cpp: this engine, its arena, and
+  // the fiber pool live and die on the calling thread (or process).
+  EngineConfig ec = harness::engine_config_for(p.cfg, cfg.launch_overhead_ns,
+                                               /*time_activities=*/false);
+  ec.recycle = cfg.recycle;
+  ec.sched_memo = cfg.sched_memo;
+  Engine eng(p.compiled.module.registry, ec);
+
+  std::vector<TRef> wrefs, drefs;
+  wrefs.reserve(p.weights.tensors.size());
+  for (const Tensor& t : p.weights.tensors) wrefs.push_back(eng.add_concrete(t.view()));
+  drefs.reserve(cfg.ds->tensors.size());
+  for (const Tensor& t : cfg.ds->tensors) drefs.push_back(eng.add_concrete(t.view()));
+  aot::AotExecutor exec(p.compiled.program, eng, wrefs);
+
+  FiberScheduler fs;
+  eng.set_fiber_scheduler(&fs);
+  fs.set_reap_hook([&eng](int sid) { eng.retire_request(sid); });
+  trace::Tracer* const tr = cfg.tracer;
+  eng.set_tracer(tr);
+  fs.set_tracer(tr);
+  const std::unique_ptr<serve::BatchPolicy> policy = serve::make_policy(cfg.policy);
+
+  // Sessions get fresh ids (fiber tag == engine instance id) decoupled from
+  // slot ids: a slot can be recycled to a new request the moment its done
+  // message finishes the round trip, which may be before this thread has
+  // reaped the finished fiber — reusing the slot id as the tag would alias
+  // two fibers. The map is bounded by live sessions (erased on prune);
+  // references into it are stable (node-based) across inserts.
+  struct Sess {
+    int slot = -1;
+    std::int64_t arrival_ns = 0;
+    std::int64_t completion_ns = -1;
+    std::int64_t first_token_ns = -1;
+    std::int64_t last_token_ns = -1;
+    std::uint32_t tokens = 0;
+    bool cancelled = false;
+    bool awaiting = false;
+  };
+  std::unordered_map<int, Sess> sess;
+  int next_sid = 1;
+
+  std::deque<int> arrivals;    // slot ids, arrival order
+  std::deque<int> in_flight;   // session ids, admission order
+  std::deque<int> step_queue;  // parked sessions wanting their next token
+  std::size_t live_decode = 0;
+  // Decode chunking (policy.h AdmitDecision::max_step_admit): reset once per
+  // trigger window, in the admission hook — resetting per admit() call would
+  // let the main loop drain every parked step between triggers and turn
+  // chunked admission into a no-op.
+  std::size_t step_budget = static_cast<std::size_t>(-1);
+
+  const auto now = [&] { return now_ns() - cfg.epoch_ns; };
+  const auto prune = [&] {
+    while (!in_flight.empty()) {
+      const auto it = sess.find(in_flight.front());
+      assert(it != sess.end());
+      if (it->second.completion_ns < 0) break;
+      if (it->second.tokens > 0) --live_decode;
+      sess.erase(it);
+      in_flight.pop_front();
+    }
+  };
+  const auto make_ctx = [&] {
+    serve::PolicyCtx c;
+    c.now_ns = now();
+    c.queued = arrivals.size();
+    c.live = in_flight.size();
+    c.live_decode = live_decode;
+    c.queued_steps = step_queue.size();
+    if (!arrivals.empty()) c.oldest_queued_arrival_ns = io.slot(arrivals.front()).arrival_ns;
+    if (!in_flight.empty()) c.oldest_live_arrival_ns = sess[in_flight.front()].arrival_ns;
+    c.inbox_open = io.input_open();
+    return c;
+  };
+
+  const auto admit = [&](std::size_t max_admit) {
+    while (!step_queue.empty() && step_budget > 0) {
+      if (step_budget != static_cast<std::size_t>(-1)) --step_budget;
+      const int sid = step_queue.front();
+      step_queue.pop_front();
+      Sess& s = sess[sid];
+      // A cancel that landed while the session was parked: mark it now so
+      // the step hook's post-unpark consult stops it (it still exits through
+      // the model tail — the emitted prefix stays a valid output).
+      if (!s.cancelled && slot_cancelled(io.slot(s.slot))) {
+        s.cancelled = true;
+        ++report.cancelled;
+      }
+      const bool ok = fs.unpark(sid);
+      assert(ok && "queued step must correspond to a parked fiber");
+      (void)ok;
+      ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kAdmit, sid, 0,
+                                    static_cast<std::int64_t>(s.tokens)));
+    }
+    while (max_admit > 0 && !arrivals.empty()) {
+      --max_admit;
+      const int slot_id = arrivals.front();
+      arrivals.pop_front();
+      Slot& sl = io.slot(slot_id);
+      const int sid = next_sid++;
+      Sess& s = sess[sid];
+      s.slot = slot_id;
+      s.arrival_ns = sl.arrival_ns;
+      sl.admit_ns = now();
+      ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kAdmit, sid, 0,
+                                    sl.admit_ns - sl.arrival_ns));
+      in_flight.push_back(sid);
+      eng.begin_request(sid);
+      fs.spawn([&, sid, slot_id] {
+        Sess& r = sess[sid];
+        Slot& out_slot = io.slot(slot_id);
+        InstCtx ctx;
+        ctx.instance = sid;
+        const Value in =
+            models::remap_trefs(cfg.ds->inputs[out_slot.input_index], drefs);
+        const Value out = exec.run(std::span<const Value>(&in, 1), ctx);
+        std::vector<TRef> outs;
+        harness::collect_output_trefs(out, outs);
+        std::vector<float> flat;
+        for (const TRef ref : outs) {
+          const Tensor t = eng.force(ref);
+          flat.insert(flat.end(), t.data, t.data + t.numel());
+        }
+        r.completion_ns = now();
+        out_slot.output = std::move(flat);
+        out_slot.tokens = r.tokens;
+        out_slot.cancelled = r.cancelled;
+        out_slot.first_token_ns = r.first_token_ns;
+        out_slot.last_token_ns = r.last_token_ns;
+        out_slot.completion_ns = r.completion_ns;
+        ++report.requests;
+        io.emit_done(slot_id);
+      }, /*tag=*/sid);
+    }
+    report.max_live = std::max(report.max_live, in_flight.size());
+  };
+
+  eng.set_admission_hook([&] {
+    io.poll_input(arrivals);
+    const serve::AdmitDecision d = policy->decide(make_ctx());
+    step_budget = d.max_step_admit;  // new trigger window
+    admit(d.max_admit);
+    fs.step_ready();
+  });
+
+  eng.set_step_hook([&](int sid) -> Engine::StepVerdict {
+    Sess& r = sess[sid];
+    if (r.awaiting) {
+      r.awaiting = false;
+      return r.cancelled ? Engine::StepVerdict::kStop : Engine::StepVerdict::kRun;
+    }
+    Slot& sl = io.slot(r.slot);
+    const std::int64_t t = now();
+    if (!r.cancelled && slot_cancelled(sl)) {
+      r.cancelled = true;
+      ++report.cancelled;
+    }
+    ++r.tokens;
+    ++report.tokens;
+    if (r.first_token_ns < 0) {
+      r.first_token_ns = t;
+      ++live_decode;
+      report.ttft_ms.add(static_cast<double>(t - r.arrival_ns) * 1e-6);
+    } else {
+      report.inter_token_ms.add(static_cast<double>(t - r.last_token_ns) * 1e-6);
+    }
+    r.last_token_ns = t;
+    if (sl.stream && !r.cancelled) io.emit_token(r.slot, r.tokens);
+    if (r.cancelled) return Engine::StepVerdict::kStop;
+    r.awaiting = true;
+    step_queue.push_back(sid);
+    return Engine::StepVerdict::kPark;
+  });
+
+  for (;;) {
+    io.poll_input(arrivals);
+    fs.reap_done();
+    prune();
+    if (in_flight.empty() && arrivals.empty()) {
+      if (!io.input_open()) break;
+      io.idle_wait();
+      continue;
+    }
+    const serve::AdmitDecision d = policy->decide(make_ctx());
+    admit(d.max_admit);
+    if (fs.step_ready() > 0) continue;
+    if (fs.any_blocked()) {
+      if (d.hold_until_ns > now() && io.input_open()) {
+        io.idle_wait();  // batch-forming pause; re-decide next iteration
+        continue;
+      }
+      eng.trigger_execution();
+      fs.wake_blocked();
+    } else if (!step_queue.empty()) {
+      // Every live session is parked and the window's step budget is spent:
+      // no trigger is coming to reset it, so open a minimal window by hand.
+      // Guarantees progress for any decode_admit >= 1.
+      step_budget = std::max<std::size_t>(step_budget, 1);
+    }
+  }
+
+  eng.set_step_hook(nullptr);
+  eng.set_admission_hook(nullptr);
+  eng.set_fiber_scheduler(nullptr);
+  report.triggers = fs.idle_triggers();
+  report.stacks_allocated = fs.stacks_allocated();
+  report.stats = eng.stats();
+  report.mem = eng.memory();
+}
+
+}  // namespace detail
+
+// ------------------------------------------------------------- NetServer
+
+struct NetServer::Impl {
+  NetOptions opts;
+  const harness::Prepared* prep = nullptr;
+  const models::Dataset* ds = nullptr;
+  std::string err;
+
+  std::int64_t epoch = 0;
+  int tcp_listen = -1;
+  int uds_listen = -1;
+  int bound_port = -1;
+  std::string uds_path;
+  std::size_t n_inputs = 0;
+
+  std::unique_ptr<detail::Slot[]> slots;
+  std::size_t n_slots = 0;
+
+  // Per-shard channel: the dispatcher feeds the inbox (slot ids); the shard
+  // thread (or the worker's proxy thread) feeds `out` back to the event
+  // loop. The out ring is sized so that even a full slot table streaming
+  // tokens rarely fills it; shard-side pushes spin briefly if it does —
+  // server-internal flow control against the event loop, never against a
+  // client (slow clients are absorbed per-connection, see write buffers).
+  struct ShardCh {
+    ShardCh(std::size_t sessions, int idx)
+        : index(idx), inbox(sessions), out(sessions * 8 + 1024) {}
+    int index;
+    SpscQueue<int> inbox;
+    SpscQueue<CompMsg> out;
+    std::atomic<int> outstanding{0};
+    std::atomic<bool> alive{true};
+    serve::ShardReport report;
+    std::unique_ptr<trace::Tracer> tracer;
+    pid_t pid = -1;  // multiproc
+    int fd = -1;     // multiproc: router end of the socketpair
+  };
+  std::vector<std::unique_ptr<ShardCh>> shards;
+  std::unique_ptr<SpscQueue<AdmissionMsg>> admission;
+  std::unique_ptr<SpscQueue<int>> free_ring;
+  std::unique_ptr<SpscQueue<CompMsg>> disp_out;
+
+  std::atomic<bool> draining{false};
+  std::atomic<bool> admission_closed{false};
+  std::atomic<bool> dispatcher_done{false};
+  std::atomic<int> shards_done{0};
+  std::atomic<std::uint64_t> worker_deaths{0};
+  std::atomic<std::size_t> slots_peak{0};
+
+  std::thread ev_thread, disp_thread;
+  std::vector<std::thread> shard_threads;
+
+  std::unique_ptr<trace::Tracer> net_tracer;
+  NetStats stats;
+  bool started = false;
+  bool finished = false;
+
+  bool fail(const std::string& what) {
+    err = what;
+    return false;
+  }
+
+  bool setup_listeners();
+  bool spawn_worker(ShardCh& ch);
+  void shard_main_inproc(ShardCh& ch);
+  void proxy_main(ShardCh& ch);
+  void dispatcher_loop();
+  void event_loop();
+};
+
+bool NetServer::Impl::setup_listeners() {
+  if (opts.port >= 0) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0 &&
+          ::listen(fd, 128) == 0 && set_nonblocking(fd)) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof bound;
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+        bound_port = ntohs(bound.sin_port);
+        tcp_listen = fd;
+      } else {
+        ::close(fd);
+      }
+    }
+  }
+  if (!opts.uds_path.empty() && opts.uds_path.size() < sizeof(sockaddr_un{}.sun_path)) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      ::unlink(opts.uds_path.c_str());
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, opts.uds_path.c_str(), sizeof addr.sun_path - 1);
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0 &&
+          ::listen(fd, 128) == 0 && set_nonblocking(fd)) {
+        uds_listen = fd;
+        uds_path = opts.uds_path;
+      } else {
+        ::close(fd);
+      }
+    }
+  }
+  return tcp_listen >= 0 || uds_listen >= 0;
+}
+
+bool NetServer::Impl::spawn_worker(ShardCh& ch) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+  ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);  // router end must not leak into execs
+
+  const std::string cmd = opts.worker_cmd.empty() ? "/proc/self/exe" : opts.worker_cmd;
+  std::vector<std::string> args = {
+      cmd, "--shard-worker",
+      "--fd", std::to_string(sv[1]),
+      "--shard", std::to_string(ch.index),
+      "--model", opts.model,
+      "--large", opts.large ? "1" : "0",
+      "--ds-batch", std::to_string(opts.ds_batch),
+      "--ds-seed", std::to_string(opts.ds_seed),
+      "--launch-ns", std::to_string(opts.launch_overhead_ns),
+      "--recycle", opts.recycle ? "1" : "0",
+      "--memo", opts.sched_memo ? "1" : "0",
+      "--pol-kind", std::to_string(static_cast<int>(opts.policy.kind)),
+      "--pol-max-batch", std::to_string(opts.policy.max_batch),
+      "--pol-min-batch", std::to_string(opts.policy.min_batch),
+      "--pol-max-admit", std::to_string(opts.policy.max_admit),
+      "--pol-decode-admit", std::to_string(opts.policy.decode_admit),
+      "--pol-slo-ns", std::to_string(opts.policy.slo_ns),
+      "--pol-hold-ns", std::to_string(opts.policy.max_hold_ns),
+  };
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return false;
+  }
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(cmd.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ::close(sv[1]);
+  ch.pid = pid;
+  ch.fd = sv[0];
+  return true;
+}
+
+void NetServer::Impl::shard_main_inproc(ShardCh& ch) {
+  detail::CoreConfig cc;
+  cc.prep = prep;
+  cc.ds = ds;
+  cc.policy = opts.policy;
+  cc.launch_overhead_ns = opts.launch_overhead_ns;
+  cc.recycle = opts.recycle;
+  cc.sched_memo = opts.sched_memo;
+  cc.shard_index = ch.index;
+  cc.epoch_ns = epoch;
+  cc.tracer = ch.tracer.get();
+
+  detail::CoreIo io;
+  io.slot = [this](int i) -> detail::Slot& { return slots[static_cast<std::size_t>(i)]; };
+  io.poll_input = [&ch](std::deque<int>& q) {
+    int id;
+    while (ch.inbox.pop(id)) q.push_back(id);
+  };
+  io.input_open = [&ch] { return !(ch.inbox.closed() && ch.inbox.empty_hint()); };
+  io.emit_token = [&ch](int slot_id, std::uint32_t ord) {
+    const CompMsg m{CompMsg::kToken, slot_id, ord};
+    while (!ch.out.push(m)) relax();
+  };
+  io.emit_done = [&ch](int slot_id) {
+    ch.outstanding.fetch_sub(1, std::memory_order_relaxed);
+    const CompMsg m{CompMsg::kDone, slot_id, 0};
+    while (!ch.out.push(m)) relax();
+  };
+  io.idle_wait = [] { relax(); };
+
+  detail::run_shard_core(cc, io, ch.report);
+  shards_done.fetch_add(1, std::memory_order_release);
+}
+
+// Router-side thread for one worker process: forwards requests and cancels
+// to the worker as frames, translates its reply frames into CompMsgs, runs
+// liveness (ping/pong + EOF), and drains it on shutdown. A dead worker
+// turns every in-flight and still-arriving slot into a kError completion —
+// clients always get a terminal frame.
+void NetServer::Impl::proxy_main(ShardCh& ch) {
+  FrameReader rd;
+  std::vector<std::uint8_t> wire;
+  std::set<int> inflight, cancel_sent;
+  bool drain_sent = false, bye = false;
+  std::int64_t last_ping = now_ns(), last_heard = now_ns();
+
+  const auto push_out = [&](const CompMsg& m) {
+    while (!ch.out.push(m)) relax();
+  };
+  const auto mark_dead = [&](bool unexpected) {
+    if (!ch.alive.load(std::memory_order_relaxed)) return;
+    ch.alive.store(false, std::memory_order_release);
+    if (unexpected) worker_deaths.fetch_add(1, std::memory_order_relaxed);
+    for (const int si : inflight) {
+      ch.outstanding.fetch_sub(1, std::memory_order_relaxed);
+      push_out(CompMsg{CompMsg::kError, si,
+                       static_cast<std::uint32_t>(ErrorCode::kWorkerDied)});
+    }
+    inflight.clear();
+    cancel_sent.clear();
+    if (ch.fd >= 0) {
+      ::close(ch.fd);
+      ch.fd = -1;
+    }
+  };
+  const auto wsend = [&](const std::vector<std::uint8_t>& b) {
+    if (ch.fd < 0) return false;
+    std::size_t off = 0;
+    while (off < b.size()) {
+      const ssize_t n = ::send(ch.fd, b.data() + off, b.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        mark_dead(true);
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  const auto handle_frame = [&](const Frame& f) {
+    switch (f.type) {
+      case FrameType::kWorkerToken: {
+        if (f.payload.size() < 8) break;
+        const int si = static_cast<int>(wire::get_u32(f.payload.data()));
+        push_out(CompMsg{CompMsg::kToken, si, wire::get_u32(f.payload.data() + 4)});
+        break;
+      }
+      case FrameType::kWorkerDone: {
+        DoneFields df;
+        if (!parse_done(f, df)) break;
+        const int si = static_cast<int>(df.id);
+        detail::Slot& s = slots[static_cast<std::size_t>(si)];
+        s.output.assign(df.data, df.data + df.n_floats);
+        s.tokens = df.tokens;
+        s.cancelled = df.cancelled;
+        inflight.erase(si);
+        cancel_sent.erase(si);
+        ch.outstanding.fetch_sub(1, std::memory_order_relaxed);
+        push_out(CompMsg{CompMsg::kDone, si, 0});
+        break;
+      }
+      case FrameType::kWorkerBye: {
+        if (f.payload.size() >= 12) {
+          ch.report.requests = static_cast<int>(wire::get_u32(f.payload.data()));
+          ch.report.tokens = static_cast<long long>(wire::get_u64(f.payload.data() + 4));
+        }
+        bye = true;
+        break;
+      }
+      case FrameType::kWorkerPong:
+      default:
+        break;  // last_heard already updated on receipt
+    }
+  };
+
+  for (;;) {
+    bool progressed = false;
+    int si;
+    while (ch.inbox.pop(si)) {
+      progressed = true;
+      if (!ch.alive.load(std::memory_order_relaxed)) {
+        ch.outstanding.fetch_sub(1, std::memory_order_relaxed);
+        push_out(CompMsg{CompMsg::kError, si,
+                         static_cast<std::uint32_t>(ErrorCode::kWorkerDied)});
+        continue;
+      }
+      const detail::Slot& s = slots[static_cast<std::size_t>(si)];
+      wire.clear();
+      std::vector<std::uint8_t> p;
+      wire::put_u32(p, static_cast<std::uint32_t>(si));
+      wire::put_u32(p, s.input_index);
+      wire::put_u16(p, 0);
+      p.push_back(s.latency_class);
+      p.push_back(0);
+      encode_frame(wire, FrameType::kWorkerReq, p.data(), p.size(),
+                   s.stream ? kFlagStream : 0);
+      if (wsend(wire)) {
+        inflight.insert(si);
+      } else {
+        ch.outstanding.fetch_sub(1, std::memory_order_relaxed);
+        push_out(CompMsg{CompMsg::kError, si,
+                         static_cast<std::uint32_t>(ErrorCode::kWorkerDied)});
+      }
+    }
+
+    if (ch.alive.load(std::memory_order_relaxed)) {
+      for (const int s2 : inflight) {
+        if (cancel_sent.count(s2) != 0) continue;
+        const detail::Slot& s = slots[static_cast<std::size_t>(s2)];
+        if (!detail::slot_cancelled(s)) continue;
+        wire.clear();
+        encode_id_only(wire, FrameType::kWorkerCancel, static_cast<std::uint32_t>(s2));
+        if (!wsend(wire)) break;
+        cancel_sent.insert(s2);
+      }
+    }
+
+    if (ch.alive.load(std::memory_order_relaxed) && !drain_sent && inflight.empty() &&
+        ch.inbox.closed() && ch.inbox.empty_hint()) {
+      wire.clear();
+      encode_empty(wire, FrameType::kWorkerDrain);
+      wsend(wire);
+      drain_sent = true;
+    }
+
+    const std::int64_t tnow = now_ns();
+    if (ch.alive.load(std::memory_order_relaxed) && !drain_sent &&
+        tnow - last_ping > 200'000'000) {
+      wire.clear();
+      encode_empty(wire, FrameType::kWorkerPing);
+      wsend(wire);
+      last_ping = tnow;
+    }
+    if (ch.alive.load(std::memory_order_relaxed) && !inflight.empty() &&
+        tnow - last_heard > 5'000'000'000) {
+      ::kill(ch.pid, SIGKILL);  // unresponsive with work owed: declare dead
+      mark_dead(true);
+    }
+
+    if (ch.alive.load(std::memory_order_relaxed)) {
+      pollfd pfd{ch.fd, POLLIN, 0};
+      ::poll(&pfd, 1, 1);
+      std::uint8_t buf[16384];
+      for (;;) {
+        const ssize_t n = ::recv(ch.fd, buf, sizeof buf, MSG_DONTWAIT);
+        if (n > 0) {
+          last_heard = now_ns();
+          rd.feed(buf, static_cast<std::size_t>(n));
+          Frame f;
+          while (rd.next(f) == FrameReader::Status::kFrame) handle_frame(f);
+          continue;
+        }
+        if (n == 0) {
+          if (drain_sent && bye) {  // clean exit after drain handshake
+            ::close(ch.fd);
+            ch.fd = -1;
+          } else {
+            mark_dead(true);
+          }
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        mark_dead(true);
+        break;
+      }
+    } else if (!progressed) {
+      relax();
+    }
+
+    const bool worker_finished =
+        (drain_sent && (bye || !ch.alive.load(std::memory_order_relaxed))) ||
+        (!ch.alive.load(std::memory_order_relaxed) && ch.inbox.closed() &&
+         ch.inbox.empty_hint());
+    if (worker_finished) {
+      if (ch.fd >= 0) {
+        ::close(ch.fd);
+        ch.fd = -1;
+      }
+      // Reap the child: grace for a clean exit, then force.
+      if (ch.pid > 0) {
+        int status = 0;
+        const std::int64_t deadline = now_ns() + 2'000'000'000;
+        for (;;) {
+          const pid_t r = ::waitpid(ch.pid, &status, WNOHANG);
+          if (r == ch.pid || r < 0) break;
+          if (now_ns() > deadline) {
+            ::kill(ch.pid, SIGKILL);
+            ::waitpid(ch.pid, &status, 0);
+            break;
+          }
+          relax();
+        }
+        ch.pid = -1;
+      }
+      break;
+    }
+  }
+  shards_done.fetch_add(1, std::memory_order_release);
+}
+
+void NetServer::Impl::dispatcher_loop() {
+  std::vector<int> free_list;
+  free_list.reserve(n_slots);
+  for (std::size_t i = n_slots; i > 0; --i) free_list.push_back(static_cast<int>(i - 1));
+
+  for (;;) {
+    bool progressed = false;
+    int sid;
+    while (free_ring->pop(sid)) {
+      progressed = true;
+      detail::Slot& s = slots[static_cast<std::size_t>(sid)];
+      s.owner.store(0, std::memory_order_relaxed);
+      s.output.clear();
+      s.tokens = 0;
+      s.cancelled = false;
+      free_list.push_back(sid);
+    }
+    // Backpressure cascade: no free slot → don't pop admission → the
+    // admission queue fills → the event loop 429s. Nothing ever grows.
+    while (!free_list.empty()) {
+      AdmissionMsg m;
+      if (!admission->pop(m)) break;
+      progressed = true;
+      const int si = free_list.back();
+      free_list.pop_back();
+      detail::Slot& s = slots[static_cast<std::size_t>(si)];
+      s.conn = m.conn;
+      s.conn_gen = m.conn_gen;
+      s.req_id = m.req_id;
+      s.input_index = m.input_index;
+      s.latency_class = m.latency_class;
+      s.stream = m.stream;
+      s.arrival_ns = m.arrival_ns;
+      s.admit_ns = s.completion_ns = s.first_token_ns = s.last_token_ns = -1;
+      s.owner.store(detail::pack_owner(m.conn, m.conn_gen), std::memory_order_release);
+      const std::size_t used = n_slots - free_list.size();
+      if (used > slots_peak.load(std::memory_order_relaxed))
+        slots_peak.store(used, std::memory_order_relaxed);
+
+      int target = -1, best = INT_MAX;
+      for (const auto& ch : shards) {
+        if (!ch->alive.load(std::memory_order_acquire)) continue;
+        const int load = ch->outstanding.load(std::memory_order_relaxed);
+        if (load < best) {
+          best = load;
+          target = ch->index;
+        }
+      }
+      if (target < 0) {
+        const CompMsg em{CompMsg::kError, si,
+                         static_cast<std::uint32_t>(ErrorCode::kUnavailable)};
+        while (!disp_out->push(em)) relax();
+        continue;
+      }
+      ShardCh& ch = *shards[static_cast<std::size_t>(target)];
+      ch.outstanding.fetch_add(1, std::memory_order_relaxed);
+      const bool pushed = ch.inbox.push(si);
+      assert(pushed && "inbox sized for the whole slot table");
+      (void)pushed;
+    }
+    if (admission_closed.load(std::memory_order_acquire) && admission->empty_hint() &&
+        free_list.size() == n_slots && free_ring->empty_hint()) {
+      for (const auto& ch : shards) ch->inbox.close();
+      dispatcher_done.store(true, std::memory_order_release);
+      return;
+    }
+    if (!progressed) relax();
+  }
+}
+
+void NetServer::Impl::event_loop() {
+  struct Conn {
+    int fd = -1;
+    std::uint64_t gen = 1;
+    bool open = false;
+    FrameReader rd;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t woff = 0;
+    int live = 0;  // requests admitted for this conn, terminal frame pending
+  };
+  std::vector<Conn> conns(static_cast<std::size_t>(opts.max_connections));
+  int open_count = 0;
+  trace::Tracer* const tr = net_tracer.get();
+  bool listeners_open = true;
+  std::int64_t flush_deadline = -1;
+  std::vector<std::uint8_t> scratch;
+  const int nshards = static_cast<int>(shards.size());
+
+  const auto now_rel = [&] { return now_ns() - epoch; };
+
+  const auto drop_conn = [&](int ci, bool slow) {
+    Conn& c = conns[static_cast<std::size_t>(ci)];
+    if (!c.open) return;
+    const bool pending = c.live > 0 || c.woff < c.wbuf.size();
+    ::close(c.fd);
+    c.fd = -1;
+    c.open = false;
+    c.wbuf.clear();
+    c.woff = 0;
+    c.rd = FrameReader();
+    if (pending) {
+      ++stats.conn_drops;
+      if (slow) ++stats.slow_reader_drops;
+      ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kNetConnDrop, ci, slow ? 1 : 0));
+      // Cancel every live session owned by this (conn, gen). Owner-tagged:
+      // a slot recycled to a newer generation can never match.
+      const std::uint64_t target = detail::pack_owner(ci, c.gen);
+      for (std::size_t i = 0; i < n_slots; ++i)
+        if (slots[i].owner.load(std::memory_order_acquire) == target)
+          slots[i].cancel_owner.store(target, std::memory_order_release);
+    }
+    ++c.gen;
+    c.live = 0;
+    --open_count;
+  };
+
+  const auto try_flush = [&](int ci) {
+    Conn& c = conns[static_cast<std::size_t>(ci)];
+    while (c.woff < c.wbuf.size()) {
+      const ssize_t n = ::send(c.fd, c.wbuf.data() + c.woff, c.wbuf.size() - c.woff,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        c.woff += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      drop_conn(ci, false);
+      return;
+    }
+    if (c.woff == c.wbuf.size()) {
+      c.wbuf.clear();
+      c.woff = 0;
+    } else if (c.woff > (1u << 16)) {
+      c.wbuf.erase(c.wbuf.begin(), c.wbuf.begin() + static_cast<std::ptrdiff_t>(c.woff));
+      c.woff = 0;
+    }
+  };
+
+  const auto send_to = [&](int ci, const std::vector<std::uint8_t>& bytes) {
+    Conn& c = conns[static_cast<std::size_t>(ci)];
+    if (!c.open) return;
+    c.wbuf.insert(c.wbuf.end(), bytes.begin(), bytes.end());
+    const std::size_t backlog = c.wbuf.size() - c.woff;
+    stats.write_buf_peak = std::max(stats.write_buf_peak, backlog);
+    if (backlog > opts.write_buffer_limit) {
+      // Slow reader: its socket stopped draining and the bounded buffer is
+      // full. Shed the connection — the shard hot path never waits on it.
+      drop_conn(ci, true);
+      return;
+    }
+    try_flush(ci);
+  };
+
+  const auto handle_comp = [&](const CompMsg& m) {
+    detail::Slot& s = slots[static_cast<std::size_t>(m.slot)];
+    const int ci = s.conn;
+    const bool ok = ci >= 0 && conns[static_cast<std::size_t>(ci)].open &&
+                    conns[static_cast<std::size_t>(ci)].gen == s.conn_gen;
+    scratch.clear();
+    switch (m.kind) {
+      case CompMsg::kToken:
+        if (ok) {
+          encode_id_pair(scratch, FrameType::kToken, s.req_id, m.aux);
+          send_to(ci, scratch);
+          ++stats.tokens_streamed;
+        }
+        return;  // non-terminal: slot stays busy
+      case CompMsg::kDone:
+        ++stats.completed;
+        if (s.cancelled) ++stats.cancelled;
+        if (ok) {
+          encode_done(scratch, FrameType::kDone, s.req_id, s.tokens, s.cancelled,
+                      s.output.data(), s.output.size());
+          send_to(ci, scratch);
+        }
+        break;
+      case CompMsg::kError:
+        ++stats.errors;
+        if (ok) {
+          encode_id_pair(scratch, FrameType::kError, s.req_id, m.aux);
+          send_to(ci, scratch);
+        }
+        break;
+    }
+    if (ok && conns[static_cast<std::size_t>(ci)].open)
+      --conns[static_cast<std::size_t>(ci)].live;  // send_to may have dropped it
+    const bool pushed = free_ring->push(m.slot);
+    assert(pushed && "free ring sized for the whole slot table");
+    (void)pushed;
+  };
+
+  const auto pump = [&] {
+    CompMsg m;
+    for (const auto& ch : shards)
+      while (ch->out.pop(m)) handle_comp(m);
+    while (disp_out->pop(m)) handle_comp(m);
+  };
+
+  const auto handle_request = [&](int ci, const Frame& f) {
+    RequestFields rf;
+    if (!parse_request(f, rf)) {
+      drop_conn(ci, false);
+      return;
+    }
+    ++stats.requests;
+    scratch.clear();
+    if (rf.model_id != 0 || rf.input_index >= n_inputs) {
+      ++stats.errors;
+      encode_id_pair(scratch, FrameType::kError, rf.id,
+                     static_cast<std::uint32_t>(ErrorCode::kBadRequest));
+      send_to(ci, scratch);
+      return;
+    }
+    // The backpressure contract: a full admission queue (or a draining
+    // server) answers 429 immediately. size_hint from the producer side is
+    // exact-or-overestimate, so the configured capacity is a hard bound.
+    if (draining.load(std::memory_order_relaxed) ||
+        admission->size_hint() >= opts.admission_capacity) {
+      ++stats.rejected_429;
+      ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kNetReject, ci,
+                                    static_cast<int>(rf.id)));
+      encode_id_only(scratch, FrameType::kRetry, rf.id);
+      send_to(ci, scratch);
+      return;
+    }
+    Conn& c = conns[static_cast<std::size_t>(ci)];
+    AdmissionMsg m;
+    m.conn = ci;
+    m.conn_gen = c.gen;
+    m.req_id = rf.id;
+    m.input_index = rf.input_index;
+    m.latency_class = rf.latency_class;
+    m.stream = rf.stream;
+    m.arrival_ns = now_rel();
+    const bool pushed = admission->push(m);
+    assert(pushed && "size_hint bound guarantees ring space");
+    (void)pushed;
+    stats.admission_peak = std::max(stats.admission_peak, admission->size_hint());
+    ++c.live;
+  };
+
+  const auto read_conn = [&](int ci) {
+    Conn& c = conns[static_cast<std::size_t>(ci)];
+    std::uint8_t buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof buf, MSG_DONTWAIT);
+      if (n > 0) {
+        c.rd.feed(buf, static_cast<std::size_t>(n));
+        Frame f;
+        for (;;) {
+          const FrameReader::Status st = c.rd.next(f);
+          if (st == FrameReader::Status::kNeedMore) break;
+          if (st == FrameReader::Status::kError) {
+            drop_conn(ci, false);
+            return;
+          }
+          ++stats.frames_in;
+          if (f.type == FrameType::kRequest) handle_request(ci, f);
+          if (!c.open) return;  // handler may have dropped the conn
+        }
+        continue;
+      }
+      if (n == 0) {
+        drop_conn(ci, false);  // graceful iff no work owed (no counters then)
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      drop_conn(ci, false);
+      return;
+    }
+  };
+
+  const auto do_accept = [&](int lfd, bool tcp) {
+    for (;;) {
+      const int fd = ::accept(lfd, nullptr, nullptr);
+      if (fd < 0) return;
+      if (open_count >= opts.max_connections) {
+        ::close(fd);  // admission for *connections*: beyond the cap, refuse
+        continue;
+      }
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      if (tcp) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      }
+      if (opts.sndbuf_bytes > 0)
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts.sndbuf_bytes,
+                     sizeof opts.sndbuf_bytes);
+      int ci = -1;
+      for (std::size_t i = 0; i < conns.size(); ++i)
+        if (!conns[i].open) {
+          ci = static_cast<int>(i);
+          break;
+        }
+      assert(ci >= 0);
+      Conn& c = conns[static_cast<std::size_t>(ci)];
+      c.fd = fd;
+      c.open = true;
+      c.rd = FrameReader();
+      c.wbuf.clear();
+      c.woff = 0;
+      c.live = 0;
+      ++open_count;
+      ++stats.connections;
+      ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kNetAccept, ci, open_count));
+    }
+  };
+
+  std::vector<pollfd> pfds;
+  std::vector<int> pidx;
+  for (;;) {
+    if (draining.load(std::memory_order_relaxed)) {
+      if (listeners_open) {
+        if (tcp_listen >= 0) ::close(tcp_listen);
+        if (uds_listen >= 0) ::close(uds_listen);
+        tcp_listen = uds_listen = -1;
+        listeners_open = false;
+      }
+      admission_closed.store(true, std::memory_order_release);
+    }
+    pump();
+
+    if (draining.load(std::memory_order_relaxed) &&
+        dispatcher_done.load(std::memory_order_acquire) &&
+        shards_done.load(std::memory_order_acquire) == nshards) {
+      pump();  // shards are gone: whatever is queued now is the last of it
+      bool outs_empty = disp_out->empty_hint();
+      for (const auto& ch : shards) outs_empty = outs_empty && ch->out.empty_hint();
+      if (outs_empty) {
+        bool wpending = false;
+        for (const Conn& c : conns)
+          if (c.open && c.woff < c.wbuf.size()) wpending = true;
+        if (!wpending) break;
+        if (flush_deadline < 0) flush_deadline = now_ns() + 2'000'000'000;
+        if (now_ns() > flush_deadline) break;
+      }
+    }
+
+    pfds.clear();
+    pidx.clear();
+    if (listeners_open) {
+      if (tcp_listen >= 0) {
+        pfds.push_back(pollfd{tcp_listen, POLLIN, 0});
+        pidx.push_back(-1);
+      }
+      if (uds_listen >= 0) {
+        pfds.push_back(pollfd{uds_listen, POLLIN, 0});
+        pidx.push_back(-2);
+      }
+    }
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      if (!conns[i].open) continue;
+      short ev = POLLIN;
+      if (conns[i].woff < conns[i].wbuf.size()) ev |= POLLOUT;
+      pfds.push_back(pollfd{conns[i].fd, ev, 0});
+      pidx.push_back(static_cast<int>(i));
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 1);
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      if (pfds[k].revents == 0) continue;
+      const int ix = pidx[k];
+      if (ix == -1) {
+        do_accept(tcp_listen, true);
+      } else if (ix == -2) {
+        do_accept(uds_listen, false);
+      } else {
+        if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) read_conn(ix);
+        if (conns[static_cast<std::size_t>(ix)].open &&
+            (pfds[k].revents & POLLOUT) != 0)
+          try_flush(ix);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < conns.size(); ++i)
+    if (conns[i].open) drop_conn(static_cast<int>(i), false);
+  if (tcp_listen >= 0) ::close(tcp_listen);
+  if (uds_listen >= 0) ::close(uds_listen);
+  tcp_listen = uds_listen = -1;
+}
+
+NetServer::NetServer(const harness::Prepared* p, const models::Dataset* ds,
+                     NetOptions opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->opts = std::move(opts);
+  impl_->prep = p;
+  impl_->ds = ds;
+}
+
+NetServer::~NetServer() {
+  if (impl_ && impl_->started) shutdown();
+  if (impl_ && !impl_->uds_path.empty()) ::unlink(impl_->uds_path.c_str());
+}
+
+const std::string& NetServer::error() const { return impl_->err; }
+int NetServer::port() const { return impl_->bound_port; }
+const std::string& NetServer::uds_path() const { return impl_->uds_path; }
+
+std::vector<pid_t> NetServer::worker_pids() const {
+  std::vector<pid_t> pids;
+  for (const auto& ch : impl_->shards)
+    if (ch->pid > 0) pids.push_back(ch->pid);
+  return pids;
+}
+
+bool NetServer::start() {
+  Impl& im = *impl_;
+  if (im.started) return im.fail("start() called twice");
+  const NetOptions& o = im.opts;
+  if (o.shards <= 0) return im.fail("shards must be > 0");
+  if (o.admission_capacity == 0) return im.fail("admission_capacity must be > 0");
+  if (o.max_sessions == 0) return im.fail("max_sessions must be > 0");
+  if (o.max_connections <= 0) return im.fail("max_connections must be > 0");
+  if (!o.multiprocess && (im.prep == nullptr || im.ds == nullptr))
+    return im.fail("in-proc shards need a prepared model and dataset");
+  if (!im.setup_listeners())
+    return im.fail("no listener available (TCP bind and UDS bind both failed)");
+
+  im.epoch = now_ns();
+  im.n_inputs = im.ds != nullptr ? im.ds->inputs.size()
+                                 : static_cast<std::size_t>(o.ds_batch);
+  im.n_slots = o.max_sessions;
+  im.slots = std::make_unique<detail::Slot[]>(im.n_slots);
+  im.admission = std::make_unique<SpscQueue<AdmissionMsg>>(o.admission_capacity);
+  im.free_ring = std::make_unique<SpscQueue<int>>(im.n_slots);
+  im.disp_out = std::make_unique<SpscQueue<CompMsg>>(im.n_slots);
+  if (o.trace.enabled) {
+    im.net_tracer = std::make_unique<trace::Tracer>(0, o.trace.config);
+    im.net_tracer->set_epoch(im.epoch);
+  }
+  for (int s = 0; s < o.shards; ++s) {
+    auto ch = std::make_unique<Impl::ShardCh>(im.n_slots, s);
+    if (!o.multiprocess && o.trace.enabled) {
+      ch->tracer = std::make_unique<trace::Tracer>(s, o.trace.config);
+      ch->tracer->set_epoch(im.epoch);
+    }
+    im.shards.push_back(std::move(ch));
+  }
+
+  // Workers fork before any thread exists (fork+exec from a single-threaded
+  // process; nothing to corrupt). A failed spawn marks its shard dead — the
+  // dispatcher routes around it, or errors if none survived.
+  if (o.multiprocess) {
+    for (const auto& ch : im.shards)
+      if (!im.spawn_worker(*ch)) ch->alive.store(false, std::memory_order_release);
+  }
+
+  im.started = true;
+  im.ev_thread = std::thread([&im] { im.event_loop(); });
+  im.disp_thread = std::thread([&im] { im.dispatcher_loop(); });
+  for (const auto& ch : im.shards) {
+    Impl::ShardCh& c = *ch;
+    if (o.multiprocess)
+      im.shard_threads.emplace_back([&im, &c] { im.proxy_main(c); });
+    else
+      im.shard_threads.emplace_back([&im, &c] { im.shard_main_inproc(c); });
+  }
+  return true;
+}
+
+void NetServer::shutdown() {
+  Impl& im = *impl_;
+  if (!im.started || im.finished) return;
+  im.draining.store(true, std::memory_order_release);
+  for (std::thread& t : im.shard_threads)
+    if (t.joinable()) t.join();
+  if (im.disp_thread.joinable()) im.disp_thread.join();
+  if (im.ev_thread.joinable()) im.ev_thread.join();
+  if (!im.uds_path.empty()) ::unlink(im.uds_path.c_str());
+
+  im.stats.worker_deaths = im.worker_deaths.load(std::memory_order_relaxed);
+  im.stats.slots_peak = im.slots_peak.load(std::memory_order_relaxed);
+  for (const auto& ch : im.shards) im.stats.shards.push_back(std::move(ch->report));
+  if (im.opts.trace.enabled && im.net_tracer) {
+    im.stats.trace.tracks.push_back(trace::dump_track(*im.net_tracer, 0, "net"));
+    for (const auto& ch : im.shards)
+      if (ch->tracer)
+        im.stats.trace.tracks.push_back(trace::dump_track(
+            *ch->tracer, ch->index + 1, "shard" + std::to_string(ch->index)));
+  }
+  im.finished = true;
+}
+
+const NetStats& NetServer::stats() const { return impl_->stats; }
+
+}  // namespace acrobat::net

@@ -1,0 +1,95 @@
+// Internal to acrobat/net: the shard engine loop shared by the router's
+// in-process shard threads (src/net.cpp) and the `--shard-worker` process
+// loop (src/net_worker.cpp). Same batching machinery as serve.cpp's
+// Shard::run_worker — trigger-boundary admission hook, token-boundary step
+// hook, fiber pool, policy — but driven through a Slot table and an IO
+// adapter instead of the in-proc request trace, so the identical engine
+// code serves both transports. Not installed; include from src/ only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "harness/harness.h"
+#include "serve/policy.h"
+#include "serve/server.h"
+#include "trace/trace.h"
+
+namespace acrobat::net::detail {
+
+// Owner tag for a slot: which (connection, generation) the result belongs
+// to. 0 = free. Cancellation is owner-tagged rather than a plain flag so a
+// cancel aimed at a dropped connection can never hit a slot that has since
+// been recycled to a new request: the shard compares cancel_owner against
+// the slot's *current* pack, and generations never repeat.
+inline std::uint64_t pack_owner(int conn, std::uint64_t gen) {
+  return (gen << 16) | static_cast<std::uint64_t>(conn + 1);
+}
+
+// One admitted-but-not-completed request. Exactly one thread owns the
+// non-atomic fields at any time (event loop → dispatcher → shard → event
+// loop), with ownership handed over through SPSC queues; `owner` and
+// `cancel_owner` are the only concurrently-touched members.
+struct Slot {
+  std::atomic<std::uint64_t> owner{0};
+  std::atomic<std::uint64_t> cancel_owner{0};
+
+  // Wire identity (dispatcher-written; event loop reads at completion).
+  int conn = -1;
+  std::uint64_t conn_gen = 0;
+  std::uint32_t req_id = 0;
+
+  // Request fields.
+  std::uint32_t input_index = 0;
+  std::uint8_t latency_class = 0;
+  bool stream = false;
+  std::int64_t arrival_ns = 0;
+
+  // Results (shard-written before the done message).
+  std::vector<float> output;
+  std::uint32_t tokens = 0;
+  bool cancelled = false;
+  std::int64_t admit_ns = -1;
+  std::int64_t completion_ns = -1;
+  std::int64_t first_token_ns = -1;
+  std::int64_t last_token_ns = -1;
+};
+
+inline bool slot_cancelled(const Slot& s) {
+  return s.cancel_owner.load(std::memory_order_acquire) ==
+         pack_owner(s.conn, s.conn_gen);
+}
+
+struct CoreConfig {
+  const harness::Prepared* prep = nullptr;
+  const models::Dataset* ds = nullptr;
+  serve::PolicyConfig policy;
+  std::int64_t launch_overhead_ns = 0;
+  bool recycle = true;
+  bool sched_memo = true;
+  int shard_index = 0;
+  std::int64_t epoch_ns = 0;
+  trace::Tracer* tracer = nullptr;  // may be null
+};
+
+// Transport adapter. poll_input appends newly arrived slot ids (and handles
+// any transport control traffic: cancels, pings, drain). input_open answers
+// "can more arrivals still appear?". emit_* publish results; emit_done runs
+// after the slot's result fields are fully written. idle_wait yields/polls
+// when there is nothing runnable.
+struct CoreIo {
+  std::function<Slot&(int)> slot;
+  std::function<void(std::deque<int>&)> poll_input;
+  std::function<bool()> input_open;
+  std::function<void(int slot_id, std::uint32_t ordinal)> emit_token;
+  std::function<void(int slot_id)> emit_done;
+  std::function<void()> idle_wait;
+};
+
+// Runs the shard loop until input is closed and all work has drained.
+void run_shard_core(const CoreConfig& cfg, CoreIo& io, serve::ShardReport& report);
+
+}  // namespace acrobat::net::detail

@@ -69,8 +69,19 @@ class DeadlinePolicy final : public BatchPolicy {
   explicit DeadlinePolicy(const PolicyConfig& cfg) : cfg_(cfg) {}
   AdmitDecision decide(const PolicyCtx& ctx) override {
     AdmitDecision d;  // admission itself is greedy unless capped
-    if (cfg_.max_admit > 0)
+    if (cfg_.max_admit > 0 && cfg_.decode_admit > 0) {
+      // Decode-aware split (policy.h): the width budget gates *prefill*
+      // admissions against non-decode live sessions only, while parked
+      // decode steps re-admit in chunks of decode_admit per trigger window.
+      // At overload this keeps trigger width available for new arrivals —
+      // TTFT stays flat instead of spiking behind a wall of decode steps.
+      const std::size_t prefill_live = ctx.live - ctx.live_decode;
+      d.max_admit =
+          prefill_live >= cfg_.max_admit ? 0 : cfg_.max_admit - prefill_live;
+      d.max_step_admit = cfg_.decode_admit;
+    } else if (cfg_.max_admit > 0) {
       d.max_admit = ctx.live >= cfg_.max_admit ? 0 : cfg_.max_admit - ctx.live;
+    }
     // Batch-forming pause: with a small in-flight pool, hold the trigger for
     // future arrivals — but never past the oldest request's SLO deadline.
     if (ctx.live > 0 && ctx.live + ctx.queued < cfg_.min_batch && ctx.inbox_open)
@@ -171,6 +182,14 @@ void Shard::run_worker() {
   // reads it to tell re-admission apart from a fresh token boundary.
   std::deque<int> step_queue;  // parked sessions wanting their next token
   std::vector<char> awaiting(trace->size(), 0);
+  // Decode-aware split (policy.h AdmitDecision::max_step_admit): how many of
+  // in_flight are past their first token, and how many parked steps this
+  // trigger window may still unpark. The budget is reset from the policy
+  // once per window — in the admission hook — not per admit() call, or the
+  // main loop would drain every parked step between triggers and chunked
+  // re-admission would be a no-op.
+  std::size_t live_decode = 0;
+  std::size_t step_budget = static_cast<std::size_t>(-1);
 
   long long last_tick_trigger = 0;
   const auto maybe_tick = [&](std::int64_t t_now) {
@@ -200,8 +219,11 @@ void Shard::run_worker() {
   };
   const auto prune_in_flight = [&] {
     while (!in_flight.empty() &&
-           (*records)[static_cast<std::size_t>(in_flight.front())].completion_ns >= 0)
+           (*records)[static_cast<std::size_t>(in_flight.front())].completion_ns >= 0) {
+      if ((*records)[static_cast<std::size_t>(in_flight.front())].tokens > 0)
+        --live_decode;
       in_flight.pop_front();
+    }
   };
   const auto make_ctx = [&] {
     PolicyCtx c;
@@ -212,6 +234,8 @@ void Shard::run_worker() {
     // concurrent *sessions* — which is what makes session memory plateau at
     // peak concurrency instead of growing with the trace.
     c.live = in_flight.size();
+    c.live_decode = live_decode;
+    c.queued_steps = step_queue.size();
     if (!queue.empty())
       c.oldest_queued_arrival_ns = (*trace)[static_cast<std::size_t>(queue.front())].arrival_ns;
     if (!in_flight.empty())
@@ -222,12 +246,15 @@ void Shard::run_worker() {
   };
 
   const auto admit = [&](std::size_t max_admit) {
-    // Decode steps are always re-admitted, outside the policy's budget: the
-    // budget gates how many *sessions* hold state concurrently, and a step
-    // belongs to a session that is already in the live pool. Gating steps
-    // on the same budget would livelock a width-capped pool of parked
-    // sessions (budget 0, nothing to unpark them).
-    while (!step_queue.empty()) {
+    // Decode steps are re-admitted outside the policy's *session* budget:
+    // that budget gates how many sessions hold state concurrently, and a
+    // step belongs to a session already in the live pool. Gating steps on
+    // the same budget would livelock a width-capped pool of parked sessions
+    // (budget 0, nothing to unpark them). With a decode-aware policy the
+    // separate per-window step budget meters them instead; the main loop
+    // guarantees at least one step per window so progress never stalls.
+    while (!step_queue.empty() && step_budget > 0) {
+      if (step_budget != static_cast<std::size_t>(-1)) --step_budget;
       const int id = step_queue.front();
       step_queue.pop_front();
       const bool ok = fs.unpark(id);
@@ -284,7 +311,9 @@ void Shard::run_worker() {
   // pending set is scheduled, so one trigger batches old and new requests.
   eng.set_admission_hook([&] {
     drain_inbox();
-    admit(policy->decide(make_ctx()).max_admit);
+    const AdmitDecision d = policy->decide(make_ctx());
+    step_budget = d.max_step_admit;  // new trigger window
+    admit(d.max_admit);
     fs.step_ready();  // new fibers record until they suspend
   });
 
@@ -304,6 +333,7 @@ void Shard::run_worker() {
     ++report.tokens;
     if (r.first_token_ns < 0) {
       r.first_token_ns = t;
+      ++live_decode;
       report.ttft_ms.add(static_cast<double>(t - r.arrival_ns) * 1e-6);
     } else {
       const std::int64_t gap = t - r.last_token_ns;
@@ -344,6 +374,11 @@ void Shard::run_worker() {
       }
       eng.trigger_execution();  // admission hook folds in late arrivals
       fs.wake_blocked();
+    } else if (!step_queue.empty()) {
+      // Every live session is parked and the window's step budget is spent:
+      // no trigger is coming to reset it, so open a minimal window by hand —
+      // progress is guaranteed for any decode_admit >= 1.
+      step_budget = std::max<std::size_t>(step_budget, 1);
     }
   }
 

@@ -25,6 +25,9 @@ const char* event_name(EventKind k) {
     case EventKind::kTriage: return "triage_defer";
     case EventKind::kShed: return "shed";
     case EventKind::kCounter: return "counter";
+    case EventKind::kNetAccept: return "net_accept";
+    case EventKind::kNetReject: return "net_reject";
+    case EventKind::kNetConnDrop: return "net_conn_drop";
   }
   return "?";
 }
@@ -183,6 +186,16 @@ void write_args(std::FILE* f, const Event& e) {
       break;
     case EventKind::kCounter:
       std::fprintf(f, "{}");
+      break;
+    case EventKind::kNetAccept:
+      std::fprintf(f, "{\"conn\":%d,\"open\":%d}", e.a, e.b);
+      break;
+    case EventKind::kNetReject:
+      std::fprintf(f, "{\"conn\":%d,\"request\":%d}", e.a, e.b);
+      break;
+    case EventKind::kNetConnDrop:
+      std::fprintf(f, "{\"conn\":%d,\"slow_reader\":%s}", e.a,
+                   e.b != 0 ? "true" : "false");
       break;
   }
 }

@@ -290,6 +290,82 @@ void test_fleet_token_deadline_cancels() {
   }));
 }
 
+// (f) Decode-aware width split (ISSUE 9 satellite): with decode_admit set,
+// max_admit gates *prefill* admissions against non-decode live sessions
+// only, and parked decode steps re-admit in decode_admit-sized chunks per
+// trigger window.
+void test_decode_split_budget() {
+  // Unit: the split arithmetic, pinned against synthetic shard state.
+  serve::PolicyConfig pc;
+  pc.kind = serve::PolicyKind::kDeadline;
+  pc.min_batch = 1;
+  pc.slo_ns = 10'000'000'000;
+  pc.max_hold_ns = 10'000'000'000;
+  pc.max_admit = 4;
+  pc.decode_admit = 2;
+  const auto pol = serve::make_policy(pc);
+
+  serve::PolicyCtx ctx;
+  ctx.live = 6;
+  ctx.live_decode = 4;  // prefill_live = 2 → room for 2 more prefills
+  serve::AdmitDecision d = pol->decide(ctx);
+  CHECK_EQ(d.max_admit, 2u);
+  CHECK_EQ(d.max_step_admit, 2u);
+
+  ctx.live = 8;
+  ctx.live_decode = 2;  // prefill_live = 6 ≥ max_admit → no new prefills
+  d = pol->decide(ctx);
+  CHECK_EQ(d.max_admit, 0u);
+  CHECK_EQ(d.max_step_admit, 2u);  // decode steps still metered through
+
+  serve::PolicyConfig flat = pc;
+  flat.decode_admit = 0;  // split off: classic hard cap, unlimited steps
+  const auto pol2 = serve::make_policy(flat);
+  ctx.live = 3;
+  ctx.live_decode = 3;
+  d = pol2->decide(ctx);
+  CHECK_EQ(d.max_admit, 1u);
+  CHECK(d.max_step_admit == static_cast<std::size_t>(-1));
+
+  // End-to-end: the split changes *scheduling* only — every session still
+  // matches its solo outputs bitwise, token counts are identical to the
+  // hard-cap run, and the live pool is allowed to grow past max_admit
+  // (decode sessions no longer consume prefill width).
+  const models::ModelSpec& spec = models::model_by_name("Decoder");
+  const models::Dataset ds = spec.build_dataset(false, 6, 23);
+  harness::Prepared p = harness::prepare(spec, false, passes::PipelineConfig{});
+  const int n = 6;
+  const auto trace = t0_trace(n, ds.inputs.size());
+
+  const auto run = [&](std::size_t decode_admit) {
+    serve::ServeOptions so;
+    so.collect_outputs = true;
+    so.policy.kind = serve::PolicyKind::kDeadline;
+    so.policy.min_batch = 1;
+    so.policy.slo_ns = 2'000'000;
+    so.policy.max_hold_ns = 200'000;
+    so.policy.max_admit = 3;
+    so.policy.decode_admit = decode_admit;
+    return serve::serve(p, ds, trace, so);
+  };
+
+  const serve::ServeResult capped = run(0);
+  const serve::ServeResult split = run(2);
+
+  CHECK(capped.shards.at(0).max_live <= 3);  // the hard cap really caps
+  CHECK(split.shards.at(0).max_live >= capped.shards.at(0).max_live);
+  CHECK_EQ(split.tokens, capped.tokens);  // lengths are input-dependent only
+  CHECK_EQ(split.cancelled, 0);
+  for (const serve::RequestRecord& rec : split.records) {
+    CHECK(rec.completion_ns >= 0);
+    const std::vector<float> solo =
+        solo_outputs(p, ds, trace[static_cast<std::size_t>(rec.id)].input_index);
+    CHECK_EQ(rec.output.size(), solo.size());
+    for (std::size_t i = 0; i < solo.size(); ++i)
+      CHECK(rec.output[i] == solo[i]);  // metered steps never change results
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -298,5 +374,6 @@ int main() {
   test_decode_memo_steady_state();
   test_session_memory_plateau();
   test_fleet_token_deadline_cancels();
+  test_decode_split_budget();
   return acrobat::test::finish("test_decode");
 }

@@ -216,6 +216,86 @@ void test_memo_with_recycling_soak() {
   CHECK(eng.memory().nodes_recycled > 0);
 }
 
+// Size-class session-buffer pooling (DESIGN.md §7 "Recycling"): a session
+// whose checkpointed state *grows* per step defeats a single free-list —
+// every growth would pool an undersized buffer no successor could adopt,
+// so bytes-allocated would climb with every session. With size classes the
+// allocation ladder is paid once per concurrency level and
+// session_bytes_allocated plateaus exactly.
+void test_session_buffer_pool_plateaus() {
+  KernelRegistry reg;
+  TensorPool pool;
+  Rng rng{acrobat::test::seed(0xba11ull)};
+  constexpr int kSteps = 4;
+  const int ladder[kSteps] = {16, 24, 48, 96};  // growing per-step state
+  int tanh_k[kSteps];
+  Tensor inputs[kSteps];
+  for (int i = 0; i < kSteps; ++i) {
+    const Shape s(ladder[i]);
+    const Shape reps[1] = {s};
+    char name[16];
+    std::snprintf(name, sizeof name, "r.tanh%d", ladder[i]);
+    tanh_k[i] = reg.add(name, OpKind::kTanh, 0, 1, reps);
+    inputs[i] = pool.alloc_random(s, rng, 1.0f);
+  }
+
+  Engine eng(reg, Fixture::recycle_config());
+  TRef in_refs[kSteps];
+  for (int i = 0; i < kSteps; ++i) in_refs[i] = eng.add_concrete(inputs[i].view());
+
+  const auto run_session = [&](int id) {
+    eng.begin_request(id);
+    const InstCtx ctx{id};
+    for (int s = 0; s < kSteps; ++s) {
+      const TRef step = eng.add_op(tanh_k[s], &in_refs[s], 1, ctx, 0);
+      eng.trigger_execution();
+      const Tensor t = eng.force(step);
+      const std::vector<float> want(t.data, t.data + t.numel());
+      const Engine::StepResult sr = eng.session_step(step, ctx);
+      // The checkpoint lands bitwise-intact in its (possibly pooled) buffer.
+      const float* got = eng.data(sr.state);
+      CHECK(got != nullptr);
+      for (std::size_t j = 0; j < want.size(); ++j) CHECK(want[j] == got[j]);
+    }
+    eng.retire_request(id);
+  };
+
+  run_session(0);
+  const std::size_t ladder_bytes = eng.memory().session_bytes_allocated;
+  CHECK(ladder_bytes > 0);
+  for (int id = 1; id < 8; ++id) run_session(id);
+  // Exact plateau: every later session adopts pooled buffers class-for-class
+  // through its whole growth ladder — zero new allocation after session 0.
+  CHECK_EQ(eng.memory().session_bytes_allocated, ladder_bytes);
+  CHECK_EQ(eng.memory().session_buffers_live, 0);
+  CHECK_EQ(eng.memory().session_buffers_peak, 1);
+
+  // Two concurrent growing sessions: the ladder is paid once more (peak
+  // concurrency 2), re-pooled at retirement — further pairs allocate nothing.
+  const auto run_pair = [&](int id_a, int id_b) {
+    eng.begin_request(id_a);
+    eng.begin_request(id_b);
+    const InstCtx ca{id_a}, cb{id_b};
+    for (int s = 0; s < kSteps; ++s) {
+      const TRef sa = eng.add_op(tanh_k[s], &in_refs[s], 1, ca, 0);
+      const TRef sb = eng.add_op(tanh_k[s], &in_refs[s], 1, cb, 0);
+      eng.trigger_execution();
+      (void)eng.session_step(sa, ca);
+      (void)eng.session_step(sb, cb);
+    }
+    eng.retire_request(id_a);
+    eng.retire_request(id_b);
+  };
+  run_pair(100, 101);
+  const std::size_t pair_bytes = eng.memory().session_bytes_allocated;
+  CHECK(pair_bytes <= 2 * ladder_bytes);
+  for (int i = 0; i < 6; ++i) run_pair(110 + 2 * i, 111 + 2 * i);
+  CHECK_EQ(eng.memory().session_bytes_allocated, pair_bytes);
+  CHECK_EQ(eng.memory().session_buffers_peak, 2);
+  CHECK_EQ(eng.memory().session_buffers_live, 0);
+  CHECK_EQ(eng.memory().leaked_slots, 0);
+}
+
 #ifndef NDEBUG
 using acrobat::test::dies;
 
@@ -247,6 +327,7 @@ int main() {
   test_free_list_never_reissues_live_slots();
   test_survivor_bytes_intact_across_retirement();
   test_memo_with_recycling_soak();
+  test_session_buffer_pool_plateaus();
 #ifndef NDEBUG
   test_stale_ref_faults_in_debug();
 #else

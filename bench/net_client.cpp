@@ -51,6 +51,7 @@ struct Row {
   double tok_s = 0, rps = 0;
   Percentiles ttft_ms, itl_ms, e2e_ms;
   long long retries = 0;
+  long long timeouts = 0;
   long long tokens = 0;
 };
 
@@ -97,6 +98,7 @@ bool drive(net::NetClient& cli, int n, int k, Row& row) {
     --outstanding;
   }
   const double secs = static_cast<double>(now_ns() - t_start) * 1e-9;
+  row.timeouts = static_cast<long long>(cli.stats().timeouts);
   row.rps = static_cast<double>(n) / secs;
   row.tok_s = static_cast<double>(row.tokens) / secs;
   row.ttft_ms = percentiles(std::move(ttft));
@@ -116,7 +118,13 @@ void record(CounterJson& json, const std::string& cfg, const net::NetStats& st,
             {"conn_drops", static_cast<long long>(st.conn_drops)},
             {"tokens_streamed", static_cast<long long>(st.tokens_streamed)},
             {"worker_deaths", static_cast<long long>(st.worker_deaths)},
-            {"client_retries", row.retries}},
+            {"worker_respawns", static_cast<long long>(st.worker_respawns)},
+            {"degraded_entries", static_cast<long long>(st.degraded_entries)},
+            {"degraded_sheds", static_cast<long long>(st.degraded_sheds)},
+            {"fairness_rejects", static_cast<long long>(st.fairness_rejects)},
+            {"fault_kills", static_cast<long long>(st.fault_kills)},
+            {"client_retries", row.retries},
+            {"client_timeouts", row.timeouts}},
            {{"rps", row.rps},
             {"tokens_per_sec", row.tok_s},
             {"ttft_p50_ms", row.ttft_ms.p50},

@@ -1,0 +1,174 @@
+// acrobat/fault: deterministic fault injection (DESIGN.md §11).
+//
+// A FaultPlan is parsed from a compact spec string (the ACROBAT_FAULT_SPEC
+// environment variable, or NetOptions::fault_spec):
+//
+//   action@key=val[,key=val...][;action@...]
+//
+//   kill_worker@req=N[,shard=S]  router side: SIGKILL the worker that every
+//                                Nth forwarded request routes to (S >= 0
+//                                restricts the kill to one shard index)
+//   crash_worker@req=N           worker side: the worker kills itself upon
+//                                receiving its Nth request, before replying
+//                                (per process life: a respawned worker
+//                                crash-loops until the restart budget ends)
+//   wedge_shard@req=N,dur_ms=D   worker side: stall D ms before handling
+//                                every Nth request — the worker stops
+//                                reading its socket, so pings go
+//                                unanswered and the liveness timeout fires
+//   short_write@p=P[,seed=S]     frame writer (router<->worker channel,
+//                                both directions): with probability P clamp
+//                                a send to a few bytes. Pure fragmentation,
+//                                never data loss: exercises FrameReader
+//                                reassembly, and must not change any output
+//                                bit.
+//
+// Every decision is a pure function of the plan and a per-injector event
+// sequence number (Bernoulli draws hash the seed with the sequence number;
+// there is no shared mutable RNG), so a failing faulted run replays with
+// the same fault schedule. Counting is atomic: the router-side hooks are
+// called from several proxy threads.
+//
+// Compile-out: -DACROBAT_FAULT=OFF defines ACROBAT_FAULT_COMPILED_OUT and
+// the ACROBAT_FAULT(stmt) hook macro expands to nothing — zero cost at
+// every hook site. The parser and Injector stay compiled (they are inert
+// without hooks), so spec-handling tests run in every build flavor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace acrobat::fault {
+
+#if defined(ACROBAT_FAULT_COMPILED_OUT)
+inline constexpr bool kCompiledOut = true;
+#define ACROBAT_FAULT(stmt) \
+  do {                      \
+  } while (0)
+#else
+inline constexpr bool kCompiledOut = false;
+#define ACROBAT_FAULT(stmt) \
+  do {                      \
+    stmt;                   \
+  } while (0)
+#endif
+
+struct FaultPlan {
+  std::uint64_t kill_every_req = 0;   // kill_worker: 0 = off
+  int kill_shard = -1;                // kill_worker: -1 = any shard
+  std::uint64_t crash_at_req = 0;     // crash_worker: 0 = off
+  std::uint64_t wedge_every_req = 0;  // wedge_shard: 0 = off
+  std::int64_t wedge_dur_ms = 0;
+  double short_write_p = 0.0;  // short_write: 0 = off
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  bool any() const {
+    return kill_every_req != 0 || crash_at_req != 0 || wedge_every_req != 0 ||
+           short_write_p > 0.0;
+  }
+};
+
+// Parses `spec` into `plan`. Empty spec = valid empty plan. Returns false
+// on malformed input (unknown action/key, missing required key, bad
+// number) with a human-readable reason in *err when provided.
+bool parse_fault_spec(const std::string& spec, FaultPlan& plan,
+                      std::string* err = nullptr);
+
+class Injector {
+ public:
+  Injector() = default;
+  explicit Injector(const FaultPlan& plan) : plan_(plan) {}
+
+  // Plan resolution used by NetServer and the shard worker: an explicit
+  // spec wins; otherwise ACROBAT_FAULT_SPEC; otherwise inert.
+  static std::string spec_from_env();
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.any(); }
+
+  // Install a plan on a default-constructed injector (atomics make the
+  // class non-assignable). Counters and sequences restart from zero.
+  void reset(const FaultPlan& plan) {
+    plan_ = plan;
+    req_seq_.store(0, std::memory_order_relaxed);
+    crash_seq_ = wedge_seq_ = 0;
+    sw_seq_.store(0, std::memory_order_relaxed);
+    kills_.store(0, std::memory_order_relaxed);
+    crashes_.store(0, std::memory_order_relaxed);
+    wedges_.store(0, std::memory_order_relaxed);
+    short_writes_.store(0, std::memory_order_relaxed);
+  }
+
+  // Router: called once per request forwarded to a worker; true when the
+  // plan says this request's worker should be SIGKILLed.
+  bool fire_kill(int shard) {
+    if (plan_.kill_every_req == 0) return false;
+    const std::uint64_t seq = req_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (seq % plan_.kill_every_req != 0) return false;
+    if (plan_.kill_shard >= 0 && shard != plan_.kill_shard) return false;
+    kills_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Worker: called once per received request; true when this process
+  // should die right now (single-threaded: the worker loop).
+  bool fire_crash() {
+    if (plan_.crash_at_req == 0) return false;
+    if (++crash_seq_ != plan_.crash_at_req) return false;
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Worker: called once per received request; > 0 = stall this many ns
+  // before handling it (single-threaded: the worker loop).
+  std::int64_t fire_wedge_ns() {
+    if (plan_.wedge_every_req == 0) return 0;
+    if (++wedge_seq_ % plan_.wedge_every_req != 0) return 0;
+    wedges_.fetch_add(1, std::memory_order_relaxed);
+    return plan_.wedge_dur_ms * 1'000'000;
+  }
+
+  // Frame writer: clamp a pending send of `want` bytes. Seeded Bernoulli
+  // per call; thread-safe (the draw hashes seed ^ sequence, no shared RNG
+  // state beyond the atomic counter).
+  std::size_t clamp_write(std::size_t want) {
+    if (plan_.short_write_p <= 0.0 || want <= 1) return want;
+    const std::uint64_t seq = sw_seq_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t h = mix(plan_.seed ^ (seq * 0x9e3779b97f4a7c15ull));
+    const double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= plan_.short_write_p) return want;
+    short_writes_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t cap = want < 16 ? want - 1 : 15;
+    return 1 + static_cast<std::size_t>(mix(h) % cap);
+  }
+
+  std::uint64_t kills() const { return kills_.load(std::memory_order_relaxed); }
+  std::uint64_t crashes() const { return crashes_.load(std::memory_order_relaxed); }
+  std::uint64_t wedges() const { return wedges_.load(std::memory_order_relaxed); }
+  std::uint64_t short_writes() const {
+    return short_writes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // splitmix64 finalizer: the stateless per-sequence hash behind every
+  // probabilistic draw.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> req_seq_{0};
+  std::uint64_t crash_seq_ = 0;
+  std::uint64_t wedge_seq_ = 0;
+  std::atomic<std::uint64_t> sw_seq_{0};
+  std::atomic<std::uint64_t> kills_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> wedges_{0};
+  std::atomic<std::uint64_t> short_writes_{0};
+};
+
+}  // namespace acrobat::fault

@@ -60,6 +60,53 @@ struct NetOptions {
   int max_connections = 256;
   int sndbuf_bytes = 0;  // >0: shrink SO_SNDBUF (test knob for slow-reader paths)
 
+  // Per-connection fairness (first slice of the per-client fairness item):
+  // > 0 caps how many admitted-but-unfinished requests one connection may
+  // hold; beyond the cap a request is answered kRetry and counted in
+  // fairness_rejects, so a single client cannot monopolize the admission
+  // queue. 0 = uncapped.
+  int max_inflight_per_conn = 0;
+
+  // Optional authn: when non-empty, every kRequest must carry
+  // auth_token16(auth_token) in its aux field; a mismatch is answered
+  // kError(kUnauthorized) before admission (counted auth_rejects).
+  std::string auth_token;
+
+  // Worker liveness (multiprocess): the router pings each worker every
+  // ping_interval_ns; a worker with work in flight that has been silent for
+  // liveness_timeout_ns is SIGKILLed and declared dead. Validated in
+  // start() config_die-style: both must be > 0 and the timeout must exceed
+  // the interval (otherwise a healthy-but-idle gap reads as death).
+  std::int64_t ping_interval_ns = 200'000'000;
+  std::int64_t liveness_timeout_ns = 5'000'000'000;
+
+  // Supervision (multiprocess): re-fork and re-register a dead worker under
+  // the same recipe. respawn_budget bounds total respawns per shard (a
+  // crash-looping recipe must not fork forever); the delay before attempt k
+  // without an intervening completed request is
+  // min(respawn_backoff_ns << k, respawn_backoff_cap_ns) — one completed
+  // request resets the exponent. The shard is routed around while a respawn
+  // is pending, exactly like an unsupervised death.
+  bool supervise = true;
+  int respawn_budget = 8;
+  std::int64_t respawn_backoff_ns = 50'000'000;
+  std::int64_t respawn_backoff_cap_ns = 2'000'000'000;
+
+  // Graceful degradation: when admission occupancy reaches the high
+  // watermark the server enters degraded mode — best-effort-class requests
+  // (LatencyClass::kBestEffort) are answered kRetry on arrival and shards
+  // halve their per-window decode step budget (decode_admit) to favor
+  // finishing admitted work — and exits when occupancy falls back to the
+  // low watermark (hysteresis, so occupancy noise at the boundary does not
+  // flap the mode). 0 = derive from admission_capacity (7/8 and 1/4).
+  std::size_t degrade_high_watermark = 0;
+  std::size_t degrade_low_watermark = 0;
+
+  // Fault-injection plan (DESIGN.md §11). Empty = read ACROBAT_FAULT_SPEC;
+  // both empty = inert. A malformed spec fails start(). Ignored entirely
+  // when built with -DACROBAT_FAULT=OFF.
+  std::string fault_spec;
+
   // Multi-process fleet: each shard is a forked worker process. worker_cmd
   // empty = re-exec this binary (/proc/self/exe), which must route
   // `--shard-worker` argv to shard_worker_main() before anything else.
@@ -90,6 +137,16 @@ struct NetStats {
   std::uint64_t slow_reader_drops = 0;  // subset: write buffer bound exceeded
   std::uint64_t tokens_streamed = 0;    // kToken frames written
   std::uint64_t worker_deaths = 0;
+  // Fault tolerance (ISSUE 10).
+  std::uint64_t worker_respawns = 0;     // supervisor re-forks that succeeded
+  std::uint64_t respawns_exhausted = 0;  // shards left dead: budget burned
+  std::uint64_t fairness_rejects = 0;    // kRetry: per-conn in-flight cap hit
+  std::uint64_t auth_rejects = 0;        // kError(kUnauthorized) sent
+  std::uint64_t degraded_entries = 0;    // overload mode transitions
+  std::uint64_t degraded_exits = 0;
+  std::uint64_t degraded_sheds = 0;      // kRetry: best-effort shed while degraded
+  std::uint64_t fault_kills = 0;         // injected router-side worker kills
+  std::uint64_t fault_short_writes = 0;  // injected router-side send clamps
   // High-water marks: all bounded by their configured caps.
   std::size_t admission_peak = 0;
   std::size_t slots_peak = 0;
@@ -135,6 +192,20 @@ class NetServer {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+// Supervisor backoff schedule (pure, unit-tested): delay before respawn
+// attempt `consecutive_failures - 1`, i.e. the first death after a served
+// request waits `base`, each further death without an intervening
+// completion doubles it, capped. Deterministic by construction — no jitter:
+// one supervisor per shard means there is no thundering herd to break up,
+// and a reproducible schedule is worth more in tests.
+inline std::int64_t respawn_delay_ns(int attempt, std::int64_t base,
+                                     std::int64_t cap) {
+  if (attempt < 0) attempt = 0;
+  std::int64_t d = attempt >= 62 ? cap : base << attempt;
+  if (d > cap || d <= 0) d = cap;
+  return d;
+}
 
 // Entry point for `--shard-worker` child processes (multi-process fleet).
 // Any binary that may host workers (netd, net_client, test_net) must call

@@ -65,8 +65,10 @@ enum class EventKind : std::uint8_t {
   kNetReject,    // instant: request 429'd, admission full (a = conn, b = req id)
   kNetConnDrop,  // instant: conn dropped with work pending (a = conn,
                  //          b = 1 if a slow reader exceeded its write bound)
+  kNetDegrade,   // instant: degraded-mode transition (a = 1 enter / 0 exit,
+                 //          b = admission occupancy at the transition)
 };
-inline constexpr int kNumEventKinds = 18;
+inline constexpr int kNumEventKinds = 19;
 const char* event_name(EventKind k);
 
 // 40 bytes; written into the ring by value — no pointers, trivially

@@ -41,6 +41,13 @@ COUNTERS = (
     "errors",
     "conn_drops",
     "worker_deaths",
+    # Fault-tolerance rows (ISSUE 10): zero on fault-free runs by contract —
+    # a nonzero respawn or degraded-entry count on a clean benchmark run is
+    # exactly the regression this check exists to catch. Absent on older
+    # goldens, same None == None tolerance as above.
+    "worker_respawns",
+    "client_retries",
+    "degraded_entries",
 )
 
 

@@ -1,0 +1,108 @@
+// ACROBAT_FAULT_SPEC parser (DESIGN.md §11). Kept out of the header so the
+// grammar has one definition; the hot-path hook methods live in fault.h.
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace acrobat::fault {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& v, std::uint64_t& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(v.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_double(const std::string& v, double& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(v.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool fail(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what;
+  return false;
+}
+
+}  // namespace
+
+bool parse_fault_spec(const std::string& spec, FaultPlan& plan, std::string* err) {
+  FaultPlan p;
+  for (const std::string& seg : split(spec, ';')) {
+    if (seg.empty()) continue;  // tolerate a trailing ';'
+    const std::size_t at = seg.find('@');
+    if (at == std::string::npos)
+      return fail(err, "fault action needs '@key=val': " + seg);
+    const std::string action = seg.substr(0, at);
+    // Collect this action's key=val pairs first, then check completeness.
+    std::uint64_t req = 0, dur_ms = 0, seed = 0, shard = 0;
+    double prob = -1.0;
+    bool has_req = false, has_dur = false, has_seed = false, has_shard = false;
+    for (const std::string& kv : split(seg.substr(at + 1), ',')) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) return fail(err, "expected key=val: " + kv);
+      const std::string k = kv.substr(0, eq);
+      const std::string v = kv.substr(eq + 1);
+      if (k == "req") {
+        if (!parse_u64(v, req) || req == 0) return fail(err, "bad req= in " + seg);
+        has_req = true;
+      } else if (k == "dur_ms") {
+        if (!parse_u64(v, dur_ms)) return fail(err, "bad dur_ms= in " + seg);
+        has_dur = true;
+      } else if (k == "seed") {
+        if (!parse_u64(v, seed)) return fail(err, "bad seed= in " + seg);
+        has_seed = true;
+      } else if (k == "shard") {
+        if (!parse_u64(v, shard)) return fail(err, "bad shard= in " + seg);
+        has_shard = true;
+      } else if (k == "p") {
+        if (!parse_double(v, prob) || prob < 0.0 || prob > 1.0)
+          return fail(err, "bad p= in " + seg + " (want 0..1)");
+      } else {
+        return fail(err, "unknown fault key '" + k + "' in " + seg);
+      }
+    }
+    if (action == "kill_worker") {
+      if (!has_req) return fail(err, "kill_worker needs req=N");
+      p.kill_every_req = req;
+      if (has_shard) p.kill_shard = static_cast<int>(shard);
+    } else if (action == "crash_worker") {
+      if (!has_req) return fail(err, "crash_worker needs req=N");
+      p.crash_at_req = req;
+    } else if (action == "wedge_shard") {
+      if (!has_req || !has_dur) return fail(err, "wedge_shard needs req=N,dur_ms=D");
+      p.wedge_every_req = req;
+      p.wedge_dur_ms = static_cast<std::int64_t>(dur_ms);
+    } else if (action == "short_write") {
+      if (prob < 0.0) return fail(err, "short_write needs p=P");
+      p.short_write_p = prob;
+      if (has_seed) p.seed = seed;
+    } else {
+      return fail(err, "unknown fault action '" + action + "'");
+    }
+  }
+  plan = p;
+  return true;
+}
+
+std::string Injector::spec_from_env() {
+  const char* e = std::getenv("ACROBAT_FAULT_SPEC");
+  return e != nullptr ? std::string(e) : std::string();
+}
+
+}  // namespace acrobat::fault

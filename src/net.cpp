@@ -23,9 +23,11 @@
 #include <unordered_map>
 
 #include "exec/aot.h"
+#include "fault/fault.h"
 #include "net/frame.h"
 #include "net_shard_core.h"
 #include "runtime/fiber.h"
+#include "serve/load.h"
 #include "serve/spsc.h"
 #include "support/timer.h"
 
@@ -36,6 +38,17 @@ using serve::SpscQueue;
 
 // Same rationale as serve.cpp: waits are for other threads' progress.
 void relax() { sched_yield(); }
+
+// Misconfiguration aborts (serve.cpp idiom): fprintf + abort rather than an
+// exception, so the fork-based death tests observe the same behavior in
+// Release and Debug. Used for knobs whose silent misuse would *look* like a
+// fault-tolerance bug (a liveness timeout below the ping interval reads as
+// workers "dying" while healthy) — plain bad-but-safe options still fail
+// start() with an error string.
+[[noreturn]] void config_die(const char* what) {
+  std::fprintf(stderr, "acrobat net: invalid configuration: %s\n", what);
+  std::abort();
+}
 
 // Acceptor → dispatcher. Everything the dispatcher needs to fill a slot.
 struct AdmissionMsg {
@@ -211,6 +224,13 @@ void run_shard_core(const CoreConfig& cfg, CoreIo& io, serve::ShardReport& repor
     io.poll_input(arrivals);
     const serve::AdmitDecision d = policy->decide(make_ctx());
     step_budget = d.max_step_admit;  // new trigger window
+    // Degraded mode (ISSUE 10): overload upstream — tighten decode_admit so
+    // this window favors prefill of already-admitted requests over token
+    // streaming. Floor 1 keeps the anti-stall guarantee below intact.
+    if (io.degraded && io.degraded()) {
+      constexpr std::size_t npos = static_cast<std::size_t>(-1);
+      step_budget = step_budget == npos ? 1 : std::max<std::size_t>(1, step_budget / 2);
+    }
     admit(d.max_admit);
     fs.step_ready();
   });
@@ -331,6 +351,17 @@ struct NetServer::Impl {
   std::atomic<std::uint64_t> worker_deaths{0};
   std::atomic<std::size_t> slots_peak{0};
 
+  // Fault tolerance (ISSUE 10). `degraded` is written by the event loop and
+  // read by in-proc shard cores (CoreIo::degraded) and the worker proxies
+  // (which forward it as kWorkerMode frames). The respawn counters are
+  // written by proxy threads, aggregated into stats at shutdown.
+  std::atomic<bool> degraded{false};
+  std::atomic<std::uint64_t> respawns{0};
+  std::atomic<std::uint64_t> respawns_exhausted{0};
+  std::size_t degrade_high = 0, degrade_low = 0;  // resolved in start()
+  fault::Injector inject;
+  std::string fault_spec;  // resolved spec, forwarded to workers via argv
+
   std::thread ev_thread, disp_thread;
   std::vector<std::thread> shard_threads;
 
@@ -418,6 +449,17 @@ bool NetServer::Impl::spawn_worker(ShardCh& ch) {
       "--pol-slo-ns", std::to_string(opts.policy.slo_ns),
       "--pol-hold-ns", std::to_string(opts.policy.max_hold_ns),
   };
+  if (!fault_spec.empty()) {
+    args.push_back("--fault");
+    args.push_back(fault_spec);
+  }
+  // The argv array is fully materialized *before* fork: respawns fork from a
+  // proxy thread of a multithreaded process, where the child may only run
+  // async-signal-safe code until execv.
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
   const pid_t pid = ::fork();
   if (pid < 0) {
     ::close(sv[0]);
@@ -425,10 +467,6 @@ bool NetServer::Impl::spawn_worker(ShardCh& ch) {
     return false;
   }
   if (pid == 0) {
-    std::vector<char*> argv;
-    argv.reserve(args.size() + 1);
-    for (std::string& a : args) argv.push_back(a.data());
-    argv.push_back(nullptr);
     ::execv(cmd.c_str(), argv.data());
     ::_exit(127);
   }
@@ -467,6 +505,7 @@ void NetServer::Impl::shard_main_inproc(ShardCh& ch) {
     while (!ch.out.push(m)) relax();
   };
   io.idle_wait = [] { relax(); };
+  io.degraded = [this] { return degraded.load(std::memory_order_relaxed); };
 
   detail::run_shard_core(cc, io, ch.report);
   shards_done.fetch_add(1, std::memory_order_release);
@@ -477,6 +516,14 @@ void NetServer::Impl::shard_main_inproc(ShardCh& ch) {
 // liveness (ping/pong + EOF), and drains it on shutdown. A dead worker
 // turns every in-flight and still-arriving slot into a kError completion —
 // clients always get a terminal frame.
+//
+// Supervision (ISSUE 10): with opts.supervise, a dead worker is re-forked
+// under the same recipe after a capped-exponential backoff, within a
+// bounded per-shard respawn budget. The shard stays routed-around
+// (alive = false) while the respawn is pending, so nothing here changes the
+// failure semantics clients observe — recovery only restores capacity. One
+// completed request resets the backoff exponent; a crash-looping recipe
+// walks the backoff up until the budget is gone, then the shard stays dead.
 void NetServer::Impl::proxy_main(ShardCh& ch) {
   FrameReader rd;
   std::vector<std::uint8_t> wire;
@@ -484,8 +531,26 @@ void NetServer::Impl::proxy_main(ShardCh& ch) {
   bool drain_sent = false, bye = false;
   std::int64_t last_ping = now_ns(), last_heard = now_ns();
 
+  int respawns_left = opts.supervise ? opts.respawn_budget : 0;
+  int consecutive_failures = 0;   // deaths since the last completed request
+  std::int64_t respawn_at = -1;   // -1 = no respawn pending
+  bool exhausted_counted = false;
+  bool mode_sent = false;  // degraded bit last forwarded (fresh worker = normal)
+
   const auto push_out = [&](const CompMsg& m) {
     while (!ch.out.push(m)) relax();
+  };
+  const auto schedule_respawn = [&] {
+    if (!opts.supervise) return;
+    if (respawns_left > 0) {
+      ++consecutive_failures;
+      respawn_at = now_ns() + respawn_delay_ns(consecutive_failures - 1,
+                                               opts.respawn_backoff_ns,
+                                               opts.respawn_backoff_cap_ns);
+    } else if (!exhausted_counted) {
+      respawns_exhausted.fetch_add(1, std::memory_order_relaxed);
+      exhausted_counted = true;
+    }
   };
   const auto mark_dead = [&](bool unexpected) {
     if (!ch.alive.load(std::memory_order_relaxed)) return;
@@ -502,12 +567,23 @@ void NetServer::Impl::proxy_main(ShardCh& ch) {
       ::close(ch.fd);
       ch.fd = -1;
     }
+    // Reap immediately (SIGKILL is belt-and-braces for the wedged case —
+    // EOF deaths are already zombies) so a respawn never stacks zombies.
+    if (ch.pid > 0) {
+      ::kill(ch.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(ch.pid, &status, 0);
+      ch.pid = -1;
+    }
+    if (unexpected) schedule_respawn();
   };
   const auto wsend = [&](const std::vector<std::uint8_t>& b) {
     if (ch.fd < 0) return false;
     std::size_t off = 0;
     while (off < b.size()) {
-      const ssize_t n = ::send(ch.fd, b.data() + off, b.size() - off, MSG_NOSIGNAL);
+      std::size_t chunk = b.size() - off;
+      ACROBAT_FAULT(chunk = inject.clamp_write(chunk));
+      const ssize_t n = ::send(ch.fd, b.data() + off, chunk, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         mark_dead(true);
@@ -536,6 +612,7 @@ void NetServer::Impl::proxy_main(ShardCh& ch) {
         inflight.erase(si);
         cancel_sent.erase(si);
         ch.outstanding.fetch_sub(1, std::memory_order_relaxed);
+        consecutive_failures = 0;  // served work: not a crash loop
         push_out(CompMsg{CompMsg::kDone, si, 0});
         break;
       }
@@ -555,6 +632,29 @@ void NetServer::Impl::proxy_main(ShardCh& ch) {
 
   for (;;) {
     bool progressed = false;
+    // A pending respawn fires once its backoff elapses — unless the server
+    // is already draining this shard (inbox closed and empty), in which
+    // case restoring capacity is pointless and the drain wins.
+    if (respawn_at >= 0) {
+      if (ch.inbox.closed() && ch.inbox.empty_hint()) {
+        respawn_at = -1;
+      } else if (now_ns() >= respawn_at) {
+        respawn_at = -1;
+        --respawns_left;
+        if (spawn_worker(ch)) {
+          rd.reset();
+          drain_sent = false;
+          bye = false;
+          mode_sent = false;
+          last_ping = last_heard = now_ns();
+          respawns.fetch_add(1, std::memory_order_relaxed);
+          ch.alive.store(true, std::memory_order_release);
+          progressed = true;
+        } else {
+          schedule_respawn();  // fork/socketpair failed: counts as a failure
+        }
+      }
+    }
     int si;
     while (ch.inbox.pop(si)) {
       progressed = true;
@@ -576,10 +676,27 @@ void NetServer::Impl::proxy_main(ShardCh& ch) {
                    s.stream ? kFlagStream : 0);
       if (wsend(wire)) {
         inflight.insert(si);
+        // kill_worker fault: SIGKILL our own worker right after forwarding
+        // the planned request — the EOF path then runs the exact production
+        // death/respawn machinery, nothing test-only.
+        ACROBAT_FAULT(if (inject.fire_kill(ch.index) && ch.pid > 0)
+                          ::kill(ch.pid, SIGKILL));
       } else {
         ch.outstanding.fetch_sub(1, std::memory_order_relaxed);
         push_out(CompMsg{CompMsg::kError, si,
                          static_cast<std::uint32_t>(ErrorCode::kWorkerDied)});
+      }
+    }
+
+    // Degraded-mode propagation: workers cannot see the router's admission
+    // queue, so the event loop's transitions travel as kWorkerMode frames
+    // (idempotent; resent from scratch to a respawned worker).
+    if (ch.alive.load(std::memory_order_relaxed) && !drain_sent) {
+      const bool degr = degraded.load(std::memory_order_relaxed);
+      if (degr != mode_sent) {
+        wire.clear();
+        encode_frame(wire, FrameType::kWorkerMode, nullptr, 0, 0, degr ? 1 : 0);
+        if (wsend(wire)) mode_sent = degr;
       }
     }
 
@@ -605,15 +722,16 @@ void NetServer::Impl::proxy_main(ShardCh& ch) {
 
     const std::int64_t tnow = now_ns();
     if (ch.alive.load(std::memory_order_relaxed) && !drain_sent &&
-        tnow - last_ping > 200'000'000) {
+        tnow - last_ping > opts.ping_interval_ns) {
       wire.clear();
       encode_empty(wire, FrameType::kWorkerPing);
       wsend(wire);
       last_ping = tnow;
     }
     if (ch.alive.load(std::memory_order_relaxed) && !inflight.empty() &&
-        tnow - last_heard > 5'000'000'000) {
-      ::kill(ch.pid, SIGKILL);  // unresponsive with work owed: declare dead
+        tnow - last_heard > opts.liveness_timeout_ns) {
+      // Unresponsive with work owed (the wedge failure mode): declare dead.
+      // mark_dead delivers the SIGKILL and reaps.
       mark_dead(true);
     }
 
@@ -878,6 +996,29 @@ void NetServer::Impl::event_loop() {
     while (disp_out->pop(m)) handle_comp(m);
   };
 
+  // Degraded-mode hysteresis (ISSUE 10): enter at the high watermark, exit
+  // at the low one. Evaluated by the event loop only — single writer to the
+  // Impl::degraded atomic that shards and worker proxies read.
+  bool degraded_mode = false;
+  const std::uint16_t want_auth =
+      opts.auth_token.empty() ? 0 : auth_token16(opts.auth_token);
+  const auto update_degraded = [&] {
+    const std::size_t occ = admission->size_hint();
+    if (!degraded_mode && occ >= degrade_high) {
+      degraded_mode = true;
+      degraded.store(true, std::memory_order_relaxed);
+      ++stats.degraded_entries;
+      ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kNetDegrade, 1,
+                                    static_cast<int>(occ)));
+    } else if (degraded_mode && occ <= degrade_low) {
+      degraded_mode = false;
+      degraded.store(false, std::memory_order_relaxed);
+      ++stats.degraded_exits;
+      ACROBAT_TRACE(tr, tr->instant(trace::EventKind::kNetDegrade, 0,
+                                    static_cast<int>(occ)));
+    }
+  };
+
   const auto handle_request = [&](int ci, const Frame& f) {
     RequestFields rf;
     if (!parse_request(f, rf)) {
@@ -886,10 +1027,39 @@ void NetServer::Impl::event_loop() {
     }
     ++stats.requests;
     scratch.clear();
+    // Authn precedes everything that costs admission space: a client
+    // without the shared token cannot even occupy a queue slot.
+    if (want_auth != 0 && rf.auth != want_auth) {
+      ++stats.auth_rejects;
+      ++stats.errors;
+      encode_id_pair(scratch, FrameType::kError, rf.id,
+                     static_cast<std::uint32_t>(ErrorCode::kUnauthorized));
+      send_to(ci, scratch);
+      return;
+    }
     if (rf.model_id != 0 || rf.input_index >= n_inputs) {
       ++stats.errors;
       encode_id_pair(scratch, FrameType::kError, rf.id,
                      static_cast<std::uint32_t>(ErrorCode::kBadRequest));
+      send_to(ci, scratch);
+      return;
+    }
+    // Per-connection fairness cap: one connection's admitted-but-unfinished
+    // requests cannot fill the shared queue. kRetry, like any other shed —
+    // the client backs off; others get the capacity.
+    if (opts.max_inflight_per_conn > 0 &&
+        conns[static_cast<std::size_t>(ci)].live >= opts.max_inflight_per_conn) {
+      ++stats.fairness_rejects;
+      encode_id_only(scratch, FrameType::kRetry, rf.id);
+      send_to(ci, scratch);
+      return;
+    }
+    // Degraded mode sheds best-effort-class work at the door: the capacity
+    // that remains under overload goes to interactive/batch classes.
+    if (degraded_mode &&
+        rf.latency_class == static_cast<std::uint8_t>(serve::LatencyClass::kBestEffort)) {
+      ++stats.degraded_sheds;
+      encode_id_only(scratch, FrameType::kRetry, rf.id);
       send_to(ci, scratch);
       return;
     }
@@ -919,6 +1089,7 @@ void NetServer::Impl::event_loop() {
     (void)pushed;
     stats.admission_peak = std::max(stats.admission_peak, admission->size_hint());
     ++c.live;
+    update_degraded();  // entering on the admit edge catches the high watermark
   };
 
   const auto read_conn = [&](int ci) {
@@ -1005,6 +1176,7 @@ void NetServer::Impl::event_loop() {
       admission_closed.store(true, std::memory_order_release);
     }
     pump();
+    update_degraded();  // exit path: occupancy falls as the dispatcher drains
 
     if (draining.load(std::memory_order_relaxed) &&
         dispatcher_done.load(std::memory_order_acquire) &&
@@ -1099,6 +1271,43 @@ bool NetServer::start() {
   if (o.max_connections <= 0) return im.fail("max_connections must be > 0");
   if (!o.multiprocess && (im.prep == nullptr || im.ds == nullptr))
     return im.fail("in-proc shards need a prepared model and dataset");
+  // Liveness / supervision knobs are programmer configuration, not runtime
+  // inputs: a nonsensical schedule aborts loudly (config_die) rather than
+  // degrading into a server that flaps workers or never declares death.
+  if (o.ping_interval_ns <= 0) config_die("ping_interval_ns must be > 0");
+  if (o.liveness_timeout_ns <= o.ping_interval_ns)
+    config_die("liveness_timeout_ns must exceed ping_interval_ns");
+  if (o.respawn_budget < 0) config_die("respawn_budget must be >= 0");
+  if (o.respawn_backoff_ns <= 0) config_die("respawn_backoff_ns must be > 0");
+  if (o.respawn_backoff_cap_ns < o.respawn_backoff_ns)
+    config_die("respawn_backoff_cap_ns must be >= respawn_backoff_ns");
+  // Degradation watermarks: 0 = derive from capacity; explicit values must
+  // form a proper hysteresis band inside the queue bound.
+  im.degrade_high = o.degrade_high_watermark != 0
+                        ? o.degrade_high_watermark
+                        : std::max<std::size_t>(1, o.admission_capacity -
+                                                       o.admission_capacity / 8);
+  im.degrade_low = o.degrade_low_watermark != 0 ? o.degrade_low_watermark
+                                                : o.admission_capacity / 4;
+  if (im.degrade_high > o.admission_capacity)
+    config_die("degrade_high_watermark must be <= admission_capacity");
+  if (im.degrade_low >= im.degrade_high)
+    config_die("degrade_low_watermark must be < degrade_high_watermark");
+  // Fault plan: explicit option wins, else the environment; a spec that
+  // does not parse is a hard start() failure, never a silently-inert run.
+  {
+    std::string spec = o.fault_spec.empty() ? fault::Injector::spec_from_env()
+                                            : o.fault_spec;
+    if (fault::kCompiledOut) spec.clear();
+    if (!spec.empty()) {
+      fault::FaultPlan plan;
+      std::string perr;
+      if (!fault::parse_fault_spec(spec, plan, &perr))
+        return im.fail("bad fault spec: " + perr);
+      im.inject.reset(plan);
+      im.fault_spec = spec;
+    }
+  }
   if (!im.setup_listeners())
     return im.fail("no listener available (TCP bind and UDS bind both failed)");
 
@@ -1155,6 +1364,10 @@ void NetServer::shutdown() {
   if (!im.uds_path.empty()) ::unlink(im.uds_path.c_str());
 
   im.stats.worker_deaths = im.worker_deaths.load(std::memory_order_relaxed);
+  im.stats.worker_respawns = im.respawns.load(std::memory_order_relaxed);
+  im.stats.respawns_exhausted = im.respawns_exhausted.load(std::memory_order_relaxed);
+  im.stats.fault_kills = im.inject.kills();
+  im.stats.fault_short_writes = im.inject.short_writes();
   im.stats.slots_peak = im.slots_peak.load(std::memory_order_relaxed);
   for (const auto& ch : im.shards) im.stats.shards.push_back(std::move(ch->report));
   if (im.opts.trace.enabled && im.net_tracer) {

@@ -7,10 +7,12 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "support/timer.h"
 
@@ -48,6 +50,9 @@ bool NetClient::connect_tcp(const std::string& host, int port) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   fd_ = fd;
+  host_ = host;
+  port_ = port;
+  uds_.clear();
   return true;
 }
 
@@ -71,7 +76,27 @@ bool NetClient::connect_uds(const std::string& path) {
     return false;
   }
   fd_ = fd;
+  uds_ = path;
+  host_.clear();
+  port_ = -1;
   return true;
+}
+
+bool NetClient::reconnect() {
+  if (host_.empty() && uds_.empty()) {
+    error_ = "reconnect() before any connect";
+    return false;
+  }
+  reader_.reset();
+  pending_.clear();
+  partial_.clear();
+  const bool ok = uds_.empty() ? connect_tcp(host_, port_) : connect_uds(uds_);
+  if (ok) ++stats_.reconnects;
+  return ok;
+}
+
+void NetClient::set_auth(const std::string& token) {
+  auth_ = token.empty() ? 0 : auth_token16(token);
 }
 
 bool NetClient::send_request(std::uint32_t req_id, std::uint32_t input_index,
@@ -79,7 +104,7 @@ bool NetClient::send_request(std::uint32_t req_id, std::uint32_t input_index,
                              bool stream) {
   if (fd_ < 0) return false;
   std::vector<std::uint8_t> wire;
-  encode_request(wire, req_id, input_index, model_id, latency_class, stream);
+  encode_request(wire, req_id, input_index, model_id, latency_class, stream, auth_);
   std::size_t off = 0;
   while (off < wire.size()) {
     const ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
@@ -184,6 +209,60 @@ bool NetClient::pump(int timeout_ms) {
     }
   }
   return true;
+}
+
+// Sleep helper for backoff waits: plain nanosleep, no socket involvement —
+// a dead connection must not turn the backoff into a busy loop.
+static void sleep_ns(std::int64_t ns) {
+  if (ns <= 0) return;
+  timespec ts{static_cast<time_t>(ns / 1'000'000'000),
+              static_cast<long>(ns % 1'000'000'000)};
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+bool NetClient::call(std::uint32_t req_id, std::uint32_t input_index,
+                     ClientResponse& out, const CallOptions& opts) {
+  const std::int64_t deadline = now_ns() + opts.deadline_ms * 1'000'000;
+  int attempt = 0;
+  for (;;) {
+    const std::int64_t left_ns = deadline - now_ns();
+    if (left_ns <= 0 || attempt >= opts.max_attempts) {
+      ++stats_.timeouts;
+      if (error_.empty()) error_ = "call() deadline exhausted";
+      return false;
+    }
+    // A broken (or never-made) connection is itself a retryable failure:
+    // reconnect-and-resubmit against the stored endpoint.
+    const bool sent = connected() &&
+                      send_request(req_id, input_index, 0, 0, opts.stream);
+    bool terminal = false;
+    if (sent) {
+      const int wait_ms = static_cast<int>(
+          std::min<std::int64_t>(left_ns / 1'000'000 + 1,
+                                 std::numeric_limits<int>::max() / 2));
+      if (wait(req_id, out, wait_ms)) {
+        if (out.kind == ClientResponse::Kind::kDone) return true;
+        if (out.kind == ClientResponse::Kind::kError &&
+            out.error_code != static_cast<std::uint32_t>(ErrorCode::kWorkerDied) &&
+            out.error_code != static_cast<std::uint32_t>(ErrorCode::kUnavailable))
+          return false;  // kBadRequest / kUnauthorized: retrying cannot help
+        terminal = true;  // kRetry or a retryable kError
+      } else if (connected()) {
+        ++stats_.timeouts;  // deadline passed while the request was live
+        return false;
+      }
+    }
+    // Retryable outcome (429 / worker died / transport down): back off,
+    // then resubmit. The jitter stream advances once per retry, so a fixed
+    // seed gives a reproducible schedule.
+    ++stats_.retries;
+    sleep_ns(std::min(left_ns, retry_backoff_ns(attempt, opts.backoff_base_ms * 1'000'000,
+                                                opts.backoff_cap_ms * 1'000'000, jitter_)));
+    ++attempt;
+    if (!connected() && !reconnect()) continue;  // server may still be coming back
+    (void)terminal;
+  }
 }
 
 bool NetClient::wait(std::uint32_t req_id, ClientResponse& out, int timeout_ms) {

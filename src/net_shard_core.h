@@ -87,6 +87,11 @@ struct CoreIo {
   std::function<void(int slot_id, std::uint32_t ordinal)> emit_token;
   std::function<void(int slot_id)> emit_done;
   std::function<void()> idle_wait;
+  // Overload signal (may be null = never degraded): while true, the core
+  // halves its per-window decode step budget (floor 1) so prefill of
+  // already-admitted work outranks token streaming. In-proc shards read the
+  // server's degraded flag; worker processes latch kWorkerMode frames.
+  std::function<bool()> degraded;
 };
 
 // Runs the shard loop until input is closed and all work has drained.

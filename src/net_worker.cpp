@@ -6,7 +6,9 @@
 // as an in-process shard thread, with the router socketpair as its IO.
 #include <errno.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -15,6 +17,7 @@
 #include <deque>
 #include <string>
 
+#include "fault/fault.h"
 #include "models/models.h"
 #include "net/frame.h"
 #include "net/net.h"
@@ -23,6 +26,17 @@
 
 namespace acrobat::net {
 namespace {
+
+// Worker-side fault injector (DESIGN.md §11): one per process, installed
+// from --fault before the loop starts. Inert (empty plan) by default.
+fault::Injector g_inject;
+
+void stall_ns(std::int64_t ns) {
+  timespec ts{static_cast<time_t>(ns / 1'000'000'000),
+              static_cast<long>(ns % 1'000'000'000)};
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
 
 struct WorkerArgs {
   int fd = -1;
@@ -34,6 +48,7 @@ struct WorkerArgs {
   std::int64_t launch_ns = 0;
   bool recycle = true;
   bool sched_memo = true;
+  std::string fault;
   serve::PolicyConfig policy;
 };
 
@@ -50,6 +65,7 @@ bool parse_args(int argc, char** argv, WorkerArgs& a) {
     else if (k == "--launch-ns") a.launch_ns = std::atoll(v);
     else if (k == "--recycle") a.recycle = std::atoi(v) != 0;
     else if (k == "--memo") a.sched_memo = std::atoi(v) != 0;
+    else if (k == "--fault") a.fault = v;
     else if (k == "--pol-kind") a.policy.kind = static_cast<serve::PolicyKind>(std::atoi(v));
     else if (k == "--pol-max-batch") a.policy.max_batch = static_cast<std::size_t>(std::atoll(v));
     else if (k == "--pol-min-batch") a.policy.min_batch = static_cast<std::size_t>(std::atoll(v));
@@ -65,7 +81,11 @@ bool parse_args(int argc, char** argv, WorkerArgs& a) {
 bool write_all(int fd, const std::vector<std::uint8_t>& b) {
   std::size_t off = 0;
   while (off < b.size()) {
-    const ssize_t n = ::send(fd, b.data() + off, b.size() - off, MSG_NOSIGNAL);
+    std::size_t chunk = b.size() - off;
+    // Injected short writes fragment frames without losing bytes: the loop
+    // resumes at off + n, so FrameReader reassembly is what gets exercised.
+    ACROBAT_FAULT(chunk = g_inject.clamp_write(chunk));
+    const ssize_t n = ::send(fd, b.data() + off, chunk, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -84,6 +104,16 @@ int shard_worker_main(int argc, char** argv) {
     return 2;
   }
 
+  if (!a.fault.empty()) {
+    fault::FaultPlan plan;
+    std::string perr;
+    if (!fault::parse_fault_spec(a.fault, plan, &perr)) {
+      std::fprintf(stderr, "acrobat net worker: bad fault spec: %s\n", perr.c_str());
+      return 2;
+    }
+    g_inject.reset(plan);
+  }
+
   const models::ModelSpec& spec = models::model_by_name(a.model);
   const harness::Prepared prep =
       harness::prepare(spec, a.large, passes::PipelineConfig{});
@@ -93,7 +123,7 @@ int shard_worker_main(int argc, char** argv) {
   // elements on growth, which the atomics in Slot require; the router's
   // table is bounded (max_sessions), so this is too.
   std::deque<detail::Slot> slots;
-  bool drain = false, eof = false;
+  bool drain = false, eof = false, degraded = false;
   FrameReader rd;
   std::vector<std::uint8_t> wire;
   int requests_served = 0;
@@ -127,6 +157,15 @@ int shard_worker_main(int argc, char** argv) {
             case FrameType::kWorkerReq: {
               RequestFields rf;
               if (!parse_request(f, rf)) break;
+              // crash_worker: die before replying — the router sees EOF and
+              // fails this request's slot with kError(kWorkerDied).
+              ACROBAT_FAULT(if (g_inject.fire_crash()) ::raise(SIGKILL));
+              // wedge_shard: stop reading the socket mid-stream; pings go
+              // unanswered, which is the liveness timeout's failure mode.
+              ACROBAT_FAULT({
+                const std::int64_t wns = g_inject.fire_wedge_ns();
+                if (wns > 0) stall_ns(wns);
+              });
               const std::size_t si = rf.id;
               while (slots.size() <= si) slots.emplace_back();
               detail::Slot& s = slots[si];
@@ -163,6 +202,9 @@ int shard_worker_main(int argc, char** argv) {
             case FrameType::kWorkerDrain:
               drain = true;
               break;
+            case FrameType::kWorkerMode:
+              degraded = f.aux != 0;
+              break;
             default:
               break;
           }
@@ -180,6 +222,7 @@ int shard_worker_main(int argc, char** argv) {
     }
   };
   io.input_open = [&] { return !drain && !eof; };
+  io.degraded = [&] { return degraded; };
   io.emit_token = [&](int slot_id, std::uint32_t ord) {
     ++tokens_served;
     wire.clear();

@@ -28,6 +28,7 @@ const char* event_name(EventKind k) {
     case EventKind::kNetAccept: return "net_accept";
     case EventKind::kNetReject: return "net_reject";
     case EventKind::kNetConnDrop: return "net_conn_drop";
+    case EventKind::kNetDegrade: return "net_degrade";
   }
   return "?";
 }
@@ -196,6 +197,10 @@ void write_args(std::FILE* f, const Event& e) {
     case EventKind::kNetConnDrop:
       std::fprintf(f, "{\"conn\":%d,\"slow_reader\":%s}", e.a,
                    e.b != 0 ? "true" : "false");
+      break;
+    case EventKind::kNetDegrade:
+      std::fprintf(f, "{\"enter\":%s,\"occupancy\":%d}",
+                   e.a != 0 ? "true" : "false", e.b);
       break;
   }
 }

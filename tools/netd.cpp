@@ -3,6 +3,8 @@
 //   netd [--port N] [--uds PATH] [--shards N] [--multiproc] [--model NAME]
 //        [--large] [--launch-ns N] [--admission-cap N] [--max-sessions N]
 //        [--policy greedy|max-batch|deadline] [--trace PATH]
+//        [--auth TOKEN] [--max-inflight-per-conn N] [--no-supervise]
+//        [--respawn-budget N] [--ping-ms N] [--liveness-ms N] [--fault SPEC]
 //
 // Binds loopback TCP (and/or a UDS path), prints the bound endpoint, serves
 // until SIGINT/SIGTERM, then drains: stops accepting, 429s new requests,
@@ -53,6 +55,13 @@ int main(int argc, char** argv) {
     else if (k == "--admission-cap") o.admission_capacity = static_cast<std::size_t>(std::atoll(next()));
     else if (k == "--max-sessions") o.max_sessions = static_cast<std::size_t>(std::atoll(next()));
     else if (k == "--trace") { o.trace.enabled = true; trace_path = next(); }
+    else if (k == "--auth") o.auth_token = next();
+    else if (k == "--max-inflight-per-conn") o.max_inflight_per_conn = std::atoi(next());
+    else if (k == "--no-supervise") o.supervise = false;
+    else if (k == "--respawn-budget") o.respawn_budget = std::atoi(next());
+    else if (k == "--ping-ms") o.ping_interval_ns = std::atoll(next()) * 1'000'000;
+    else if (k == "--liveness-ms") o.liveness_timeout_ns = std::atoll(next()) * 1'000'000;
+    else if (k == "--fault") o.fault_spec = next();
     else if (k == "--policy") {
       const std::string p = next();
       if (p == "greedy") o.policy.kind = serve::PolicyKind::kGreedy;
@@ -110,6 +119,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.conn_drops),
               static_cast<unsigned long long>(st.tokens_streamed),
               static_cast<unsigned long long>(st.worker_deaths));
+  std::printf("netd: respawns=%llu respawns_exhausted=%llu degraded=%llu/%llu "
+              "sheds=%llu fairness=%llu auth_rejects=%llu fault_kills=%llu\n",
+              static_cast<unsigned long long>(st.worker_respawns),
+              static_cast<unsigned long long>(st.respawns_exhausted),
+              static_cast<unsigned long long>(st.degraded_entries),
+              static_cast<unsigned long long>(st.degraded_exits),
+              static_cast<unsigned long long>(st.degraded_sheds),
+              static_cast<unsigned long long>(st.fairness_rejects),
+              static_cast<unsigned long long>(st.auth_rejects),
+              static_cast<unsigned long long>(st.fault_kills));
   if (o.trace.enabled && !trace_path.empty()) {
     if (st.trace.write_chrome_json(trace_path))
       std::printf("netd: trace written to %s\n", trace_path.c_str());
